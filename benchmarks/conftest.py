@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Simulation benchmarks run the real experiment pipeline at a reduced
+scale so the whole suite finishes in minutes; the paper's full scale is
+25 000 s per run.  Scale knobs (environment variables):
+
+* ``REPRO_BENCH_DURATION`` — simulated seconds per run (default 800).
+* ``REPRO_BENCH_REPLICATES`` — runs averaged per data point (default 1).
+* ``REPRO_BENCH_SINKS`` — comma-separated sink counts for the Fig. 2
+  sweeps (default ``1,3,5``).
+
+Run ``dftmsn run <exp>`` for full-scale reproductions; EXPERIMENTS.md
+records both scales.
+"""
+
+import os
+
+import pytest
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_duration() -> float:
+    return _env_float("REPRO_BENCH_DURATION", 800.0)
+
+
+@pytest.fixture(scope="session")
+def bench_replicates() -> int:
+    return _env_int("REPRO_BENCH_REPLICATES", 1)
+
+
+@pytest.fixture(scope="session")
+def bench_sink_counts():
+    raw = os.environ.get("REPRO_BENCH_SINKS", "1,3,5")
+    return tuple(int(x) for x in raw.split(","))

@@ -1,0 +1,113 @@
+"""Ablation benches for the three Sec. 4 optimizations.
+
+Each ablation flips exactly one optimization off (keeping the others at
+OPT settings) so its individual contribution is visible — a finer cut
+than the paper's all-or-nothing NOOPT.
+"""
+
+from dataclasses import replace
+
+from repro import ProtocolParameters, SimulationConfig, run_simulation
+
+_DEF = dict(n_sinks=3, seed=17)
+
+
+def _run(duration, params, protocol="opt"):
+    cfg = SimulationConfig(protocol=protocol, duration_s=duration,
+                           params=params, **_DEF)
+    return run_simulation(cfg)
+
+
+def _row(tag, r):
+    delay = f"{r.average_delay_s:.0f}" if r.average_delay_s else "-"
+    return (f"{tag:<22} ratio={r.delivery_ratio:6.3f}  "
+            f"power={r.average_power_mw:6.2f} mW  delay={delay:>6} s  "
+            f"corrupted={r.frames_corrupted}")
+
+
+def test_ablation_sleep_policy(benchmark, bench_duration):
+    """Adaptive T_i (Eq. 4-8) vs fixed T_i vs no sleeping."""
+    def run_all():
+        return {
+            "adaptive (OPT)": _run(bench_duration, ProtocolParameters.opt()),
+            "fixed T_i": _run(bench_duration,
+                              ProtocolParameters.opt(adaptive_sleep=False)),
+            "no sleep": _run(bench_duration, ProtocolParameters.nosleep()),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("Ablation: periodic sleeping (Sec. 4.1)")
+    for tag, r in results.items():
+        print(_row(tag, r))
+    assert (results["no sleep"].average_power_mw
+            > results["adaptive (OPT)"].average_power_mw * 3)
+    assert (results["adaptive (OPT)"].average_power_mw
+            < results["fixed T_i"].average_power_mw * 3)
+
+
+def test_ablation_listen_window(benchmark, bench_duration):
+    """Adaptive tau_max (Eq. 13) vs small/large fixed listen windows."""
+    def run_all():
+        return {
+            "adaptive (OPT)": _run(bench_duration, ProtocolParameters.opt()),
+            "fixed tau=4": _run(bench_duration,
+                                ProtocolParameters.opt(adaptive_tau=False,
+                                                       tau_max_slots=4)),
+            "fixed tau=64": _run(bench_duration,
+                                 ProtocolParameters.opt(adaptive_tau=False,
+                                                        tau_max_slots=64)),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("Ablation: listen window (Sec. 4.2)")
+    for tag, r in results.items():
+        print(_row(tag, r))
+    for r in results.values():
+        assert r.messages_generated > 0
+
+
+def test_ablation_contention_window(benchmark, bench_duration):
+    """Adaptive W (Eq. 14) vs fixed small/large windows."""
+    def run_all():
+        return {
+            "adaptive (OPT)": _run(bench_duration, ProtocolParameters.opt()),
+            "fixed W=2": _run(bench_duration,
+                              ProtocolParameters.opt(
+                                  adaptive_cw=False,
+                                  contention_window_slots=2)),
+            "fixed W=16": _run(bench_duration,
+                               ProtocolParameters.opt(
+                                   adaptive_cw=False,
+                                   contention_window_slots=16)),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("Ablation: CTS contention window (Sec. 4.3)")
+    for tag, r in results.items():
+        print(_row(tag, r))
+    for r in results.values():
+        assert r.messages_generated > 0
+
+
+def test_ablation_xi_multicast_rule(benchmark, bench_duration):
+    """DESIGN.md documented choice: Eq. 1 'best' vs 'sequential' folding."""
+    def run_all():
+        return {
+            "best (default)": _run(
+                bench_duration,
+                ProtocolParameters.opt(xi_multicast_rule="best")),
+            "sequential": _run(
+                bench_duration,
+                ProtocolParameters.opt(xi_multicast_rule="sequential")),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("Ablation: Eq. 1 multicast update rule")
+    for tag, r in results.items():
+        print(_row(tag, r))
+    for r in results.values():
+        assert 0.0 <= r.delivery_ratio <= 1.0

@@ -1,0 +1,52 @@
+"""Fault-tolerance bench: message survival under sensor deaths.
+
+The "fault-tolerant" half of DFT-MSN: wearable sensors die and take
+their buffered copies with them.  The FTD multicast keeps several copies
+alive, so OPT should degrade more gracefully than single-copy custody
+(ZBR) as the death rate rises.
+"""
+
+from repro import SimulationConfig, Simulation
+from repro.network.faults import FaultInjector, FaultPlan
+
+DEATH_FRACTIONS = (0.0, 0.3)
+
+
+def _run(protocol, death_fraction, duration, seed=31):
+    sim = Simulation(SimulationConfig(protocol=protocol, duration_s=duration,
+                                      seed=seed))
+    if death_fraction > 0.0:
+        plan = FaultPlan.random_deaths(sim, death_fraction,
+                                       end_s=duration * 0.7)
+        FaultInjector(sim, plan).arm()
+    return sim.run()
+
+
+def test_fault_tolerance_under_node_deaths(benchmark, bench_duration):
+    def run_grid():
+        grid = {}
+        for protocol in ("opt", "zbr"):
+            for fraction in DEATH_FRACTIONS:
+                grid[(protocol, fraction)] = _run(protocol, fraction,
+                                                  bench_duration * 2)
+        return grid
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print()
+    print("Fault tolerance: delivery ratio vs fraction of sensors dying")
+    print(f"{'protocol':<8} " + "  ".join(f"die={f:.0%}"
+                                          for f in DEATH_FRACTIONS))
+    retained = {}
+    for protocol in ("opt", "zbr"):
+        row = [grid[(protocol, f)].delivery_ratio for f in DEATH_FRACTIONS]
+        print(f"{protocol:<8} " + "  ".join(f"{r:7.3f}" for r in row))
+        retained[protocol] = (row[1] / row[0]) if row[0] > 0 else 0.0
+    print(f"retained fraction of fault-free delivery: "
+          f"opt={retained['opt']:.2f} zbr={retained['zbr']:.2f}")
+
+    for protocol in ("opt", "zbr"):
+        healthy = grid[(protocol, 0.0)]
+        dying = grid[(protocol, 0.3)]
+        # Deaths can only hurt; both protocols must stay functional.
+        assert dying.delivery_ratio <= healthy.delivery_ratio + 0.05
+        assert dying.messages_generated > 0

@@ -1,0 +1,88 @@
+"""Fig. 2 reproduction benches: one per panel.
+
+Each bench regenerates the corresponding Fig. 2 series (reduced scale)
+and prints the same rows the paper plots.  Shape checks are asserted
+where the paper makes a categorical claim that survives down-scaling
+(e.g. NOSLEEP's power is idle-dominated and far above OPT's).
+"""
+
+from repro.harness.figures import fig2, format_series_table
+
+_CACHE = {}
+
+
+def _table(duration, replicates, sink_counts):
+    key = (duration, replicates, sink_counts)
+    if key not in _CACHE:
+        _CACHE[key] = fig2(duration_s=duration, replicates=replicates,
+                           sink_counts=sink_counts)
+    return _CACHE[key]
+
+
+def test_fig2a_delivery_ratio(benchmark, bench_duration, bench_replicates,
+                              bench_sink_counts):
+    table = benchmark.pedantic(
+        _table, args=(bench_duration, bench_replicates, bench_sink_counts),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Fig. 2(a) — delivery ratio vs number of sinks")
+    print(format_series_table(table, "delivery_ratio"))
+    for protocol, series in table.items():
+        first, last = bench_sink_counts[0], bench_sink_counts[-1]
+        # More sinks never hurt delivery (paper: ratio rises with sinks).
+        assert (series[last].delivery_ratio
+                >= series[first].delivery_ratio - 0.05), protocol
+
+
+def test_fig2b_power(benchmark, bench_duration, bench_replicates,
+                     bench_sink_counts):
+    table = benchmark.pedantic(
+        _table, args=(bench_duration, bench_replicates, bench_sink_counts),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Fig. 2(b) — average nodal power (mW) vs number of sinks")
+    print(format_series_table(table, "average_power_mw"))
+    for sinks in bench_sink_counts:
+        nosleep = table["nosleep"][sinks].average_power_mw
+        opt = table["opt"][sinks].average_power_mw
+        # Paper: NOSLEEP consumes ~8x OPT; categorically, idle listening
+        # dominates NOSLEEP and periodic sleeping slashes OPT.
+        assert nosleep > 12.0
+        assert opt < nosleep / 3.0
+        # NOOPT's fixed parameters waste energy relative to OPT.
+        assert table["noopt"][sinks].average_power_mw > opt
+
+
+def test_fig2c_delay(benchmark, bench_duration, bench_replicates,
+                     bench_sink_counts):
+    table = benchmark.pedantic(
+        _table, args=(bench_duration, bench_replicates, bench_sink_counts),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Fig. 2(c) — average delivery delay (s) vs number of sinks")
+    print(format_series_table(table, "average_delay_s"))
+    first, last = bench_sink_counts[0], bench_sink_counts[-1]
+    # Paper: delay drops sharply with more sinks; NOSLEEP is fastest
+    # because no transmission opportunity is ever slept through.  At
+    # reduced scale the mean delay of *delivered* messages is right-
+    # censored: with few sinks only near-sink traffic gets through fast,
+    # which can mask the trend — so the trend is only asserted when the
+    # two endpoints deliver comparable fractions.
+    opt = table["opt"]
+    ratio_gap = (opt[last].delivery_ratio - opt[first].delivery_ratio)
+    if ratio_gap < 0.05:
+        assert (opt[last].average_delay_s
+                <= opt[first].average_delay_s * 1.1)
+    for sinks in bench_sink_counts:
+        # The NOSLEEP-is-fastest comparison is also censoring-sensitive:
+        # when OPT delivers only a handful of (necessarily nearby)
+        # messages, its conditional delay is artificially low.  Compare
+        # only when the two deliver comparable fractions.
+        nosleep_agg = table["nosleep"][sinks]
+        opt_agg = table["opt"][sinks]
+        if abs(nosleep_agg.delivery_ratio - opt_agg.delivery_ratio) < 0.05:
+            assert (nosleep_agg.average_delay_s
+                    <= opt_agg.average_delay_s * 1.1)

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+These time the substrate components in isolation — useful when tuning
+the simulator itself (the full-scale Fig. 2 sweep is dominated by event
+dispatch, queue operations and neighbor queries).
+"""
+
+import random
+
+from repro.core.message import DataMessage, MessageCopy
+from repro.core.queue import FtdQueue
+from repro.core.ftd import receiver_copy_ftd, sender_ftd_after_multicast
+from repro.des import EventScheduler
+from repro.mobility import Area, MobilityManager, ZoneGridMobility
+from repro.des.rng import RandomStreams
+
+
+def test_event_scheduler_throughput(benchmark):
+    """Schedule + dispatch cost of the DES core."""
+    def run():
+        sched = EventScheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sched.schedule(0.001, tick)
+
+        sched.schedule(0.0, tick)
+        sched.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_ftd_queue_insert_pop(benchmark):
+    """Sorted-insert + pop of the Sec. 3.1.2 queue at capacity."""
+    rng = random.Random(1)
+    messages = [
+        MessageCopy(DataMessage(i, 0, 0.0), ftd=rng.random() * 0.89)
+        for i in range(500)
+    ]
+
+    def run():
+        q = FtdQueue(200)
+        for copy in messages:
+            q.insert(MessageCopy(copy.message, ftd=copy.ftd))
+        drained = 0
+        while len(q):
+            q.pop()
+            drained += 1
+        return drained
+
+    assert benchmark(run) > 0
+
+
+def test_ftd_algebra(benchmark):
+    """Eq. 2/3 per-multicast cost."""
+    xis = [0.2, 0.4, 0.6, 0.8]
+
+    def run():
+        total = 0.0
+        for _ in range(1000):
+            for j in range(len(xis)):
+                total += receiver_copy_ftd(0.3, 0.5, xis, j)
+            total += sender_ftd_after_multicast(0.3, xis)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_zone_mobility_step(benchmark):
+    """One-second mobility tick for the paper's 100-node field."""
+    model = ZoneGridMobility(list(range(100)), Area(150, 150),
+                             random.Random(2))
+
+    def run():
+        for _ in range(50):
+            model.step(1.0)
+        return model.positions.sum()
+
+    benchmark(run)
+
+
+def test_neighbor_queries(benchmark):
+    """Grid-indexed neighbor lookup at the paper's density."""
+    sched = EventScheduler()
+    area = Area(150, 150)
+    model = ZoneGridMobility(list(range(100)), area, random.Random(3))
+    mgr = MobilityManager(sched, area, [model], comm_range=10.0)
+
+    def run():
+        total = 0
+        for node in range(100):
+            total += len(list(mgr.neighbors_of(node)))
+        return total
+
+    benchmark(run)
+
+
+def test_rng_stream_derivation(benchmark):
+    """Named-stream creation cost (per-node streams at build time)."""
+    def run():
+        streams = RandomStreams(7)
+        return sum(streams.stream(f"mac:{i}").random() for i in range(200))
+
+    benchmark(run)

@@ -1,0 +1,34 @@
+"""Mobility-model sensitivity bench.
+
+The paper's zone model bakes in home affinity; this bench shows how the
+protocol behaves when that assumption is swapped for classic models
+(random walk, random waypoint, truncated Levy walk).
+"""
+
+from dataclasses import replace
+
+from repro import SimulationConfig, run_simulation
+
+MODELS = ("zone", "walk", "waypoint", "levy")
+
+
+def test_mobility_sensitivity(benchmark, bench_duration):
+    base = SimulationConfig(protocol="opt", seed=37,
+                            duration_s=bench_duration * 2)
+
+    def run_all():
+        return {
+            model: run_simulation(replace(base, mobility_model=model))
+            for model in MODELS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("Mobility sensitivity (OPT) — delivery ratio / delay / power")
+    for model, r in results.items():
+        delay = f"{r.average_delay_s:.0f}" if r.average_delay_s else "-"
+        print(f"  {model:<9} ratio={r.delivery_ratio:6.3f}  "
+              f"delay={delay:>6} s  power={r.average_power_mw:5.2f} mW")
+    for model, r in results.items():
+        assert r.messages_generated > 0, model
+        assert 0.0 <= r.delivery_ratio <= 1.0, model

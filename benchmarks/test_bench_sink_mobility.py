@@ -1,0 +1,21 @@
+"""Sink-mobility bench: strategic static sinks vs people-carried sinks."""
+
+from repro.harness.figures import format_series_table, sink_mobility_study
+
+
+def test_sink_mobility_study(benchmark, bench_duration, bench_replicates):
+    table = benchmark.pedantic(
+        sink_mobility_study,
+        kwargs=dict(duration_s=bench_duration * 2,
+                    replicates=bench_replicates,
+                    protocols=("opt", "zbr")),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Sink-mobility study — delivery ratio, static vs mobile sinks")
+    print(format_series_table(table, "delivery_ratio",
+                              axis_label="sink mode"))
+    for protocol, series in table.items():
+        for agg in series.values():
+            assert 0.0 <= agg.delivery_ratio <= 1.0
+            assert agg.average_power_mw > 0.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Flu-virus tracking — the paper's second motivating scenario.
+
+Epidemic-surveillance sensors are worn by a population; data matters in
+*bursts* (when someone shows symptoms, a cluster of readings is taken).
+A subset of people carry high-end devices (phones/PDAs) that act as
+mobile sinks — here modeled as extra sinks scattered in the field.
+
+The scenario stresses two protocol features:
+
+* burst traffic (the :class:`~repro.traffic.BurstTraffic` generator
+  replaces the default Poisson process), and
+* buffer pressure — bursts push queue occupancy up, engaging the
+  FTD-based queue management (importance ordering + threshold drops).
+
+Usage::
+
+    python examples/flu_tracking.py [duration_seconds]
+"""
+
+import sys
+
+from repro import SimulationConfig
+from repro.network.simulation import Simulation
+from repro.traffic import BurstTraffic
+
+
+def run(protocol: str, duration: float):
+    config = SimulationConfig(
+        protocol=protocol,
+        duration_s=duration,
+        seed=23,
+        n_sensors=60,
+        n_sinks=5,          # phones/PDAs with sensor interfaces
+        queue_capacity=40,  # wearable-class buffers
+    )
+    sim = Simulation(config)
+    # Swap the Poisson workload for symptomatic bursts: a reading cluster
+    # of 6 samples roughly every 10 minutes per person.
+    for node in sim.sensors:
+        node.traffic = BurstTraffic(
+            sim.scheduler, node.on_sense,
+            sim.streams.stream(f"burst:{node.node_id}"),
+            mean_gap_s=600.0, burst_size=6, intra_burst_s=2.0,
+            stop_time=duration,
+        )
+    result = sim.run()
+    return sim, result
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 3000.0
+    print("Flu tracking under burst traffic: OPT vs ZBR (ZebraNet history)")
+    print(f"60 sensors, 5 mobile-carried sinks, 40-message buffers, "
+          f"{duration:.0f} s\n")
+
+    for protocol in ("opt", "zbr"):
+        sim, result = run(protocol, duration)
+        drops = result.queue_drops_overflow
+        delay = (f"{result.average_delay_s:.0f} s"
+                 if result.average_delay_s is not None else "-")
+        print(f"[{protocol}] delivery {result.delivery_ratio:.1%}   "
+              f"delay {delay}   power {result.average_power_mw:.2f} mW   "
+              f"buffer-overflow drops {drops}")
+
+    print("\nThe FTD queue keeps the newest (lowest-FTD) samples when "
+          "buffers overflow,\nso OPT retains burst coverage that a FIFO "
+          "single-copy scheme loses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Inspect a run from the inside: time series and frame-level traces.
+
+Demonstrates the observability substrate:
+
+* :class:`~repro.metrics.timeseries.TimeSeriesProbe` — how delivery
+  ratio, queue occupancy, the xi field and power evolve over the run;
+* :class:`~repro.trace.TraceRecorder` — frame-level flight recorder,
+  with a per-message journey report and channel-usage breakdown.
+
+Usage::
+
+    python examples/inspect_protocol.py [duration_seconds]
+"""
+
+import sys
+
+from repro import SimulationConfig, Simulation
+from repro.metrics.timeseries import TimeSeriesProbe
+from repro.radio.frames import FrameKind
+from repro.trace import TraceRecorder, channel_usage, message_journey, node_activity
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 1500.0
+    sim = Simulation(SimulationConfig(protocol="opt", duration_s=duration,
+                                      seed=11, n_sensors=60, n_sinks=3))
+    probe = TimeSeriesProbe(sim, period_s=duration / 8)
+    probe.arm()
+    recorder = TraceRecorder(sim, frame_kinds={FrameKind.DATA})
+    recorder.install()
+
+    result = sim.run()
+
+    print("=== time series ===")
+    print(probe.as_table())
+    print()
+    print("=== channel usage (DATA frames) ===")
+    for key, count in sorted(channel_usage(recorder).items()):
+        print(f"  {key:<10} {count}")
+    print()
+    print("=== one delivered message's journey ===")
+    if sim.collector.deliveries:
+        sample_id = next(iter(sim.collector.deliveries))
+        print(message_journey(recorder, sample_id))
+    else:
+        print("(nothing delivered at this horizon)")
+    print()
+    print("=== busiest nodes ===")
+    print(node_activity(recorder, top=5))
+    print()
+    print(f"run summary: ratio {result.delivery_ratio:.1%}, "
+          f"power {result.average_power_mw:.2f} mW")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this project targets may lack the ``wheel`` package, in
+which case PEP 660 editable installs (``pip install -e .``) cannot build
+the editable wheel.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (setuptools ``develop`` mode) work as a fallback;
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

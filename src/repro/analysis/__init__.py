@@ -1,0 +1,50 @@
+"""Closed-form analysis from Sec. 4 of the paper.
+
+These functions are the analytic counterparts of the protocol's adaptive
+parameter choices: the channel-grab / collision probabilities of the
+asynchronous phase (Eq. 10-12) with the minimum-``tau_max`` search
+(Eq. 13), the CTS contention-window collision probability (Eq. 14) with
+the minimum-``W`` search, and the sleep-period energy bounds (Eq. 7-8).
+They are pure functions, unit-testable independently of the simulator.
+"""
+
+from repro.analysis.collision import (
+    sigma_slots,
+    grasp_probability,
+    grasp_probabilities,
+    rts_collision_probability,
+    min_tau_max,
+    min_tau_max_fast,
+    cts_collision_probability,
+    min_contention_window,
+)
+from repro.analysis.sleep_bounds import min_sleep_period, max_sleep_period
+from repro.analysis.dtn_models import (
+    pair_contact_rate,
+    node_contact_rate,
+    direct_delivery_cdf,
+    direct_expected_delay,
+    epidemic_expected_delay,
+    epidemic_delivery_cdf,
+    two_hop_expected_delay,
+)
+
+__all__ = [
+    "sigma_slots",
+    "grasp_probability",
+    "grasp_probabilities",
+    "rts_collision_probability",
+    "min_tau_max",
+    "min_tau_max_fast",
+    "cts_collision_probability",
+    "min_contention_window",
+    "min_sleep_period",
+    "max_sleep_period",
+    "pair_contact_rate",
+    "node_contact_rate",
+    "direct_delivery_cdf",
+    "direct_expected_delay",
+    "epidemic_expected_delay",
+    "epidemic_delivery_cdf",
+    "two_hop_expected_delay",
+]

@@ -1,0 +1,172 @@
+"""Collision-probability analysis for the asynchronous phase (Sec. 4.2/4.3).
+
+Model (Eq. 9-12): an isolated cell of ``m`` mutually audible nodes; node
+``i`` listens for a period drawn uniformly from ``{1, ..., sigma_i}``
+slots with ``sigma_i = xi_i * tau_max`` (Eq. 9), and grabs the channel iff
+its listen period is strictly the shortest.  ``P_i`` (Eq. 10) is the
+probability node ``i`` wins; ``gamma = 1 - sum_i P_i`` (Eq. 12) is the
+probability nobody wins cleanly (a preamble collision).
+
+Eq. 14 covers the CTS window: ``n`` qualified receivers each pick one of
+``W`` slots uniformly; ``gamma_o`` is the probability that at least two
+pick the same slot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def sigma_slots(xi: float, tau_max: int) -> int:
+    """Eq. (9): the listen-period upper bound ``sigma_i = xi_i * tau_max``.
+
+    Clamped to at least one slot so that a node with ``xi = 0`` (which
+    should win contention most easily) still listens briefly.
+    """
+    if tau_max < 1:
+        raise ValueError("tau_max must be at least one slot")
+    if not 0.0 <= xi <= 1.0:
+        raise ValueError(f"xi must be in [0, 1], got {xi!r}")
+    return max(1, min(tau_max, math.ceil(xi * tau_max)))
+
+
+def grasp_probability(i: int, sigmas: Sequence[int]) -> float:
+    """Eq. (10)-(11): probability node ``i`` grabs the channel.
+
+    ``P_i = sum_{tau=1}^{sigma_i} (1/sigma_i) * prod_{j != i}
+    theta_ij / sigma_j`` with ``theta_ij = sigma_j - tau`` when
+    ``sigma_j > tau`` and 0 otherwise (every other node must draw a
+    strictly longer listen period).
+    """
+    if not 0 <= i < len(sigmas):
+        raise IndexError(f"node index {i} out of range")
+    sigma_i = sigmas[i]
+    if sigma_i < 1 or any(s < 1 for s in sigmas):
+        raise ValueError("all sigmas must be at least 1")
+    total = 0.0
+    for tau in range(1, sigma_i + 1):
+        prod = 1.0
+        for j, sigma_j in enumerate(sigmas):
+            if j == i:
+                continue
+            if sigma_j > tau:
+                prod *= (sigma_j - tau) / sigma_j
+            else:
+                prod = 0.0
+                break
+        total += prod / sigma_i
+    return total
+
+
+def grasp_probabilities(sigmas: Sequence[int]) -> List[float]:
+    """``P_i`` for every node in the cell."""
+    return [grasp_probability(i, sigmas) for i in range(len(sigmas))]
+
+
+def rts_collision_probability(sigmas: Sequence[int]) -> float:
+    """Eq. (12): ``gamma = 1 - sum_i P_i``, probability of no clean winner."""
+    if not sigmas:
+        return 0.0
+    gamma = 1.0 - sum(grasp_probabilities(sigmas))
+    # Guard against tiny negative values from float round-off.
+    return min(1.0, max(0.0, gamma))
+
+
+def min_tau_max(
+    xis: Sequence[float],
+    threshold: float,
+    tau_cap: int = 256,
+) -> int:
+    """Eq. (13): smallest ``tau_max`` with collision probability <= threshold.
+
+    ``xis`` are the delivery probabilities of all nodes in the cell
+    (including the optimizing node itself, per its neighbor table).
+    Returns ``tau_cap`` when even the cap cannot reach the threshold.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    if tau_cap < 1:
+        raise ValueError("tau_cap must be positive")
+    if len(xis) <= 1:
+        return 1  # alone in the cell: no contention at all
+    for tau_max in range(1, tau_cap + 1):
+        sigmas = [sigma_slots(xi, tau_max) for xi in xis]
+        if rts_collision_probability(sigmas) <= threshold:
+            return tau_max
+    return tau_cap
+
+
+def min_tau_max_fast(
+    xis: Sequence[float],
+    threshold: float,
+    tau_cap: int = 256,
+) -> int:
+    """Binary-search variant of :func:`min_tau_max`.
+
+    ``gamma(tau_max)`` is monotonically decreasing apart from occasional
+    one-slot ripples from the ``ceil`` in Eq. 9, so a doubling phase plus
+    binary search finds the optimum in ``O(log tau_cap)`` evaluations —
+    the online protocol uses this; the exact linear search remains for
+    analysis and tests (they agree to within one slot).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    if tau_cap < 1:
+        raise ValueError("tau_cap must be positive")
+    if len(xis) <= 1:
+        return 1
+
+    def gamma(tau_max: int) -> float:
+        """Collision probability at this tau_max."""
+        return rts_collision_probability(
+            [sigma_slots(xi, tau_max) for xi in xis])
+
+    if gamma(tau_cap) > threshold:
+        return tau_cap
+    lo, hi = 1, 1
+    while gamma(hi) > threshold:
+        lo, hi = hi, min(tau_cap, hi * 2)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if gamma(mid) <= threshold:
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
+
+
+def cts_collision_probability(n_responders: int, window_slots: int) -> float:
+    """Eq. (14): probability at least two of ``n`` CTSs share a slot.
+
+    ``gamma_o = 1 - C(W, n) * n! * (1/W)^n`` — the birthday problem over
+    ``W`` slots.  With more responders than slots a collision is certain.
+    """
+    if n_responders < 0 or window_slots < 1:
+        raise ValueError("need n >= 0 and W >= 1")
+    if n_responders <= 1:
+        return 0.0
+    if n_responders > window_slots:
+        return 1.0
+    p_clean = math.perm(window_slots, n_responders) / window_slots ** n_responders
+    return 1.0 - p_clean
+
+
+def min_contention_window(
+    n_responders: int,
+    threshold: float,
+    window_cap: int = 256,
+) -> int:
+    """Smallest ``W`` with ``gamma_o <= threshold`` (linear search, Sec. 4.3).
+
+    Returns ``window_cap`` when the cap cannot reach the threshold.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    if window_cap < 1:
+        raise ValueError("window_cap must be positive")
+    n = max(0, n_responders)
+    for window in range(1, window_cap + 1):
+        if cts_collision_probability(n, window) <= threshold:
+            return window
+    return window_cap

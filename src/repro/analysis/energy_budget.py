@@ -1,0 +1,77 @@
+"""Analytic energy budget of a duty-cycled DFT-MSN node.
+
+Closed-form expected power draw given the protocol's duty-cycle shape:
+per sleep/work cycle a node pays one work period (listen slots +
+attempts), one sleep period (with LPL samples) and two Eq. 7 switch
+transitions.  Used to sanity-check simulated power and to explore the
+Sec. 4.1 tradeoff without simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.model import PowerProfile
+
+
+@dataclass(frozen=True)
+class DutyCycleSpec:
+    """Shape of one node's average sleep/work cycle."""
+
+    sleep_s: float
+    awake_listen_s: float
+    tx_s_per_cycle: float = 0.0
+    lpl_sample_interval_s: float = 1.0
+    lpl_sample_s: float = 0.005
+    lpl_wakes_per_cycle: float = 0.0
+    lpl_wake_awake_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sleep_s < 0 or self.awake_listen_s < 0 or self.tx_s_per_cycle < 0:
+            raise ValueError("durations cannot be negative")
+        if self.lpl_sample_interval_s <= 0 or self.lpl_sample_s <= 0:
+            raise ValueError("LPL parameters must be positive")
+        if self.lpl_wakes_per_cycle < 0 or self.lpl_wake_awake_s < 0:
+            raise ValueError("LPL wake parameters cannot be negative")
+
+    @property
+    def cycle_s(self) -> float:
+        """Total length of one sleep/work cycle."""
+        return (self.sleep_s + self.awake_listen_s + self.tx_s_per_cycle
+                + self.lpl_wakes_per_cycle * self.lpl_wake_awake_s)
+
+
+def expected_power_mw(spec: DutyCycleSpec, profile: PowerProfile) -> float:
+    """Expected average power (mW) of a node following ``spec``.
+
+    Energy per cycle = sleep + listen + transmit + 2 full switches
+    (Eq. 7) + LPL samples + LPL wake episodes (listening, with cheap
+    transitions).
+    """
+    if spec.cycle_s <= 0:
+        raise ValueError("cycle must have positive length")
+    samples = spec.sleep_s / spec.lpl_sample_interval_s
+    energy_mj = (
+        spec.sleep_s * profile.sleep_mw
+        + spec.awake_listen_s * profile.idle_mw
+        + spec.tx_s_per_cycle * profile.tx_mw
+        + 2.0 * profile.switch_energy_mj
+        + samples * spec.lpl_sample_s * profile.rx_mw
+        + spec.lpl_wakes_per_cycle * (
+            spec.lpl_wake_awake_s * profile.idle_mw
+            + 2.0 * profile.lpl_switch_energy_mj
+        )
+    )
+    return energy_mj / spec.cycle_s
+
+
+def duty_cycle_fraction(spec: DutyCycleSpec) -> float:
+    """Fraction of the cycle with the radio fully on."""
+    awake = (spec.awake_listen_s + spec.tx_s_per_cycle
+             + spec.lpl_wakes_per_cycle * spec.lpl_wake_awake_s)
+    return awake / spec.cycle_s
+
+
+def breakeven_sleep_s(profile: PowerProfile) -> float:
+    """Eq. 7 again, from the profile — re-exported for convenience."""
+    return profile.min_sleep_period_s()

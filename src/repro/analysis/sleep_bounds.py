@@ -1,0 +1,40 @@
+"""Sleep-period bounds from the energy model (Eq. 7-8)."""
+
+from __future__ import annotations
+
+
+def min_sleep_period(
+    switch_energy_mj: float,
+    idle_mw: float,
+    sleep_mw: float,
+) -> float:
+    """Eq. (7): ``T_min >= 2 * E_change / (P_idle - P_sleep)``.
+
+    Sleeping shorter than this wastes more energy on the two radio
+    on/off transitions than the sleep saves.
+    """
+    saving_rate = idle_mw - sleep_mw
+    if saving_rate <= 0:
+        raise ValueError("idle power must exceed sleep power")
+    if switch_energy_mj < 0:
+        raise ValueError("switch energy cannot be negative")
+    return 2.0 * switch_energy_mj / saving_rate
+
+
+def max_sleep_period(
+    t_min_s: float,
+    success_window_s: int,
+    buffer_threshold_h: float,
+) -> float:
+    """Eq. (8): the cap on the adaptive sleep period.
+
+    With the minimum success rate ``rho = 1/S`` and an empty buffer
+    (``alpha_i = 0``) Eq. (6) yields ``T_max = T_min * S / (1 - H)``.
+    """
+    if t_min_s <= 0:
+        raise ValueError("t_min must be positive")
+    if success_window_s < 1:
+        raise ValueError("success window must be at least one cycle")
+    if not 0.0 <= buffer_threshold_h < 1.0:
+        raise ValueError("H must be in [0, 1)")
+    return t_min_s * success_window_s / (1.0 - buffer_threshold_h)

@@ -1,0 +1,23 @@
+"""Baseline data-delivery schemes evaluated against the cross-layer
+protocol.
+
+* :class:`~repro.baselines.zbr.ZbrAgent` — the ZebraNet history-based
+  scheme (the paper's main comparator, "ZBR" in Fig. 2): single-copy
+  forwarding to nodes with a higher direct-to-sink success history,
+  running on the same optimized MAC.
+* :class:`~repro.baselines.direct.DirectAgent` — direct transmission:
+  a sensor only hands messages to sinks (analyzed in the authors' earlier
+  INFOCOM'06 work as the low-overhead extreme).
+* :class:`~repro.baselines.epidemic.EpidemicAgent` — flooding: replicate
+  to every encountered node with buffer room (the high-overhead extreme).
+
+The protocol variants NOOPT and NOSLEEP from the paper's evaluation are
+parameterizations of the cross-layer agent itself — see
+:meth:`repro.core.params.ProtocolParameters.noopt` and ``.nosleep``.
+"""
+
+from repro.baselines.zbr import ZbrAgent
+from repro.baselines.direct import DirectAgent
+from repro.baselines.epidemic import EpidemicAgent
+
+__all__ = ["ZbrAgent", "DirectAgent", "EpidemicAgent"]

@@ -1,0 +1,60 @@
+"""Epidemic (flooding) delivery: replicate to everyone encountered.
+
+The maximal-redundancy extreme analyzed in the authors' earlier work [5]:
+every contact with buffer room receives a copy, giving the best possible
+delivery ratio/delay at the worst possible energy and buffer cost.  Runs
+on the shared MAC; the queue is rotated after each multicast so a node
+cycles through its buffered messages instead of re-offering the head.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.message import MessageCopy
+from repro.core.protocol import MacAgent
+from repro.core.selection import Candidate
+from repro.radio.frames import DataFrame, Rts
+
+
+class EpidemicAgent(MacAgent):
+    """Flood every message to every neighbor with buffer space."""
+
+    def advertised_metric(self) -> float:
+        # Every node advertises 0 so that "higher metric" never gates a
+        # transfer; qualification is purely buffer-space below.
+        """Flooding ignores metrics; advertise nothing."""
+        return 0.0
+
+    def evaluate_rts(self, rts: Rts) -> Tuple[bool, int]:
+        """Qualify whenever there is buffer room for a new message."""
+        if rts.message_id in self.queue:
+            return False, 0  # already infected with this message
+        slots = self.queue.free_slots
+        return slots > 0, slots
+
+    def build_phi(self, head: MessageCopy,
+                  candidates: Sequence[Candidate]) -> List[Candidate]:
+        """Every responder with buffer room receives a copy."""
+        return [c for c in candidates if c.is_sink or c.buffer_slots > 0]
+
+    def copy_assignments(self, head: MessageCopy,
+                         phi: Sequence[Candidate]) -> Dict[int, float]:
+        """Copies stay maximally urgent; flooding has no FTD notion."""
+        return {c.node_id: 0.0 for c in phi}
+
+    def on_data_accepted(self, frame: DataFrame, assigned_ftd: float) -> None:
+        """Store the replica (duplicates merge in the queue)."""
+        copy: MessageCopy = frame.payload
+        self.queue.insert(copy.forwarded(0.0, self.scheduler.now))
+
+    def after_multicast(self, head: MessageCopy,
+                        confirmed: Sequence[Candidate]) -> None:
+        """Keep replicating; rotate the queue, retire on sink ACK."""
+        if not confirmed:
+            return
+        self.queue.remove(head.message_id)
+        if not any(c.is_sink for c in confirmed):
+            # Keep our replica but rotate it to the back of the queue so
+            # the next cycle offers a different message.
+            self.queue.reinsert_with_ftd(head, head.ftd)

@@ -1,0 +1,91 @@
+"""ZBR: the ZebraNet history-based forwarding scheme [12].
+
+As described in the paper (Sec. 2 and Sec. 5): each node tracks its past
+success rate of transmitting data packets *directly to a base station*;
+on meeting another node, it hands its messages over iff the other node
+has a strictly higher success rate.  ZBR differs from OPT "only in the
+message transmission scheme" — it runs on the same optimized MAC, but
+forwards a single copy (custody transfer) instead of the FTD-controlled
+multicast.
+
+Two documented weaknesses reproduce the paper's Fig. 2 behaviour:
+nodes whose mobility never takes them near a sink keep a zero success
+rate (traffic originating deep in the field has no gradient to follow),
+and — because the metric is a plain history with *no time decay*, unlike
+Eq. 1's xi — stale former couriers keep attracting custody long after
+their mobility changed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.message import MessageCopy
+from repro.core.protocol import MacAgent
+from repro.core.selection import Candidate
+from repro.radio.frames import DataFrame, Rts
+
+
+class ZbrAgent(MacAgent):
+    """History-based single-copy forwarding on the shared MAC."""
+
+    #: EWMA weight of one direct sink contact in the history metric.
+    HISTORY_GAIN = 0.3
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._rate = 0.0
+
+    @property
+    def success_rate(self) -> float:
+        """The ZebraNet direct-to-sink success history (never decays)."""
+        return self._rate
+
+    def advertised_metric(self) -> float:
+        """ZBR advertises its sink-contact history instead of xi."""
+        return self._rate
+
+    def record_direct_sink_success(self) -> float:
+        """Fold one successful direct sink transfer into the history."""
+        self._rate = ((1.0 - self.HISTORY_GAIN) * self._rate
+                      + self.HISTORY_GAIN)
+        return self._rate
+
+    def evaluate_rts(self, rts: Rts) -> Tuple[bool, int]:
+        """Qualify on strictly higher history and a free buffer slot."""
+        if rts.message_id in self.queue:
+            return False, 0  # duplicate custody is meaningless
+        slots = self.queue.free_slots
+        return (self._rate > rts.xi and slots > 0), slots
+
+    def build_phi(self, head: MessageCopy,
+                  candidates: Sequence[Candidate]) -> List[Candidate]:
+        """Pick a single receiver: a sink if present, else best history."""
+        qualified = [c for c in candidates
+                     if c.is_sink or c.xi > self._rate]
+        if not qualified:
+            return []
+        best = max(qualified, key=lambda c: (c.is_sink, c.xi, -c.node_id))
+        return [best]
+
+    def copy_assignments(self, head: MessageCopy,
+                         phi: Sequence[Candidate]) -> Dict[int, float]:
+        """No FTD notion: the custody copy stays maximally urgent."""
+        return {c.node_id: 0.0 for c in phi}
+
+    def on_data_accepted(self, frame: DataFrame, assigned_ftd: float) -> None:
+        """Take custody of the forwarded message."""
+        copy: MessageCopy = frame.payload
+        self.queue.insert(copy.forwarded(0.0, self.scheduler.now))
+
+    def after_multicast(self, head: MessageCopy,
+                        confirmed: Sequence[Candidate]) -> None:
+        """Release custody; a direct sink transfer raises the history."""
+        if not confirmed:
+            return
+        # Custody transfer: exactly one copy lives on, at the receiver.
+        self.queue.remove(head.message_id)
+        if any(c.is_sink for c in confirmed):
+            # Only a *direct* sink transfer raises the (non-decaying)
+            # history metric.
+            self.record_direct_sink_success()

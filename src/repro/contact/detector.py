@@ -1,0 +1,118 @@
+"""Contact detection over a mobility model.
+
+A *contact* is a maximal interval during which two nodes are within
+communication range.  The tracer advances mobility on a fixed tick and
+emits contact start/end events; it can run standalone (producing a
+contact trace for analysis) or drive the contact-level simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.mobility.manager import MobilityManager
+
+
+@dataclass(frozen=True)
+class Contact:
+    """One completed contact between nodes ``a`` and ``b``."""
+
+    a: int
+    b: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Seconds the pair stayed within range."""
+        return self.end - self.start
+
+    def involves(self, node_id: int) -> bool:
+        """Whether ``node_id`` is one of the contact's endpoints."""
+        return node_id in (self.a, self.b)
+
+
+class ContactTracer:
+    """Walks mobility forward and reports contact starts/ends.
+
+    ``on_contact_start(a, b, t)`` / ``on_contact_end(a, b, t_start, t)``
+    callbacks fire as pairs come into and out of range; :meth:`run`
+    returns the list of completed contacts (open contacts are closed at
+    the horizon).
+    """
+
+    def __init__(
+        self,
+        mobility: MobilityManager,
+        on_contact_start: Optional[Callable[[int, int, float], None]] = None,
+        on_contact_end: Optional[Callable[[int, int, float, float], None]] = None,
+    ) -> None:
+        self._mobility = mobility
+        self._on_start = on_contact_start
+        self._on_end = on_contact_end
+        self._active: Dict[FrozenSet[int], float] = {}
+        self.contacts: List[Contact] = []
+
+    @property
+    def active_pairs(self) -> Set[FrozenSet[int]]:
+        """Pairs currently within range (open contacts)."""
+        return set(self._active)
+
+    def scan(self, now: float) -> None:
+        """Compare the current in-range pairs against the active set."""
+        current: Set[FrozenSet[int]] = set()
+        for node in self._mobility.node_ids:
+            for other in self._mobility.neighbors_of(node):
+                if other > node:
+                    current.add(frozenset((node, other)))
+
+        for pair in current - set(self._active):
+            self._active[pair] = now
+            if self._on_start is not None:
+                a, b = sorted(pair)
+                self._on_start(a, b, now)
+
+        for pair in set(self._active) - current:
+            started = self._active.pop(pair)
+            a, b = sorted(pair)
+            self.contacts.append(Contact(a, b, started, now))
+            if self._on_end is not None:
+                self._on_end(a, b, started, now)
+
+    def run(self, duration: float, tick: float = 1.0) -> List[Contact]:
+        """Advance mobility to ``duration`` and return completed contacts."""
+        if duration <= 0 or tick <= 0:
+            raise ValueError("duration and tick must be positive")
+        now = 0.0
+        self.scan(now)
+        while now < duration:
+            step = min(tick, duration - now)
+            self._mobility.step(step)
+            now += step
+            self.scan(now)
+        self.close(duration)
+        return self.contacts
+
+    def close(self, now: float) -> None:
+        """Close any still-open contacts at time ``now``."""
+        for pair, started in sorted(self._active.items(),
+                                    key=lambda kv: sorted(kv[0])):
+            a, b = sorted(pair)
+            self.contacts.append(Contact(a, b, started, now))
+            if self._on_end is not None:
+                self._on_end(a, b, started, now)
+        self._active.clear()
+
+
+def contact_statistics(contacts: List[Contact]) -> Dict[str, float]:
+    """Aggregate statistics of a contact trace (for workload reports)."""
+    if not contacts:
+        return {"count": 0, "mean_duration_s": float("nan"),
+                "total_contact_s": 0.0}
+    durations = [c.duration for c in contacts]
+    return {
+        "count": float(len(contacts)),
+        "mean_duration_s": sum(durations) / len(durations),
+        "total_contact_s": sum(durations),
+    }

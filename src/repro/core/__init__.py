@@ -1,0 +1,53 @@
+"""The paper's primary contribution: the cross-layer DFT-MSN data-delivery
+protocol and its optimizations.
+
+Layout:
+
+* :mod:`repro.core.params` — every protocol constant, with the OPT /
+  NOOPT / NOSLEEP presets used in the paper's evaluation.
+* :mod:`repro.core.message` — application data messages and per-node copies.
+* :mod:`repro.core.delivery` — nodal delivery probability ``xi`` (Eq. 1).
+* :mod:`repro.core.ftd` — fault-tolerance-degree algebra (Eq. 2-3).
+* :mod:`repro.core.queue` — the FTD-sorted data queue (Sec. 3.1.2).
+* :mod:`repro.core.selection` — receiver-subset selection (Sec. 3.2.2).
+* :mod:`repro.core.sleep` — adaptive periodic sleeping (Sec. 4.1, Eq. 4-8).
+* :mod:`repro.core.listen` — xi-skewed listen window (Sec. 4.2, Eq. 9-13).
+* :mod:`repro.core.contention` — adaptive CTS window (Sec. 4.3, Eq. 14).
+* :mod:`repro.core.neighbor_table` — soft-state neighbor table.
+* :mod:`repro.core.protocol` — the two-phase MAC engine and the
+  fault-tolerance-based cross-layer agent.
+"""
+
+from repro.core.params import ProtocolParameters
+from repro.core.message import DataMessage, MessageCopy
+from repro.core.delivery import DeliveryProbabilityEstimator
+from repro.core.ftd import receiver_copy_ftd, sender_ftd_after_multicast
+from repro.core.queue import FtdQueue, QueueStats
+from repro.core.selection import Candidate, select_receivers
+from repro.core.sleep import SleepScheduler
+from repro.core.listen import ListenPolicy
+from repro.core.contention import ContentionPolicy
+from repro.core.neighbor_table import NeighborTable, NeighborEntry
+from repro.core.protocol import MacAgent, CrossLayerAgent, SinkAgent, AgentStats
+
+__all__ = [
+    "ProtocolParameters",
+    "DataMessage",
+    "MessageCopy",
+    "DeliveryProbabilityEstimator",
+    "receiver_copy_ftd",
+    "sender_ftd_after_multicast",
+    "FtdQueue",
+    "QueueStats",
+    "Candidate",
+    "select_receivers",
+    "SleepScheduler",
+    "ListenPolicy",
+    "ContentionPolicy",
+    "NeighborTable",
+    "NeighborEntry",
+    "MacAgent",
+    "CrossLayerAgent",
+    "SinkAgent",
+    "AgentStats",
+]

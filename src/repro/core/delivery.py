@@ -1,0 +1,83 @@
+"""Nodal delivery probability ``xi`` (Sec. 3.1.1, Eq. 1).
+
+``xi_i`` estimates how likely sensor ``i`` is to deliver messages to a
+sink.  It starts at zero and is updated on two events:
+
+* **Transmission** to node ``k``: ``xi_i = (1 - alpha) * xi_i + alpha * xi_k``
+  (with ``xi_k = 1`` when ``k`` is a sink).
+* **Timeout**: no transmission for ``Delta`` seconds decays it to
+  ``xi_i = (1 - alpha) * xi_i``.
+
+For a multicast to a receiver set ``Phi`` (which Eq. 1 does not cover
+explicitly) two documented rules are offered: ``"best"`` applies the
+transmission update once using ``max_k xi_k`` (the dominant delivery
+path), ``"sequential"`` folds the update over every receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.params import ProtocolParameters
+from repro.des.scheduler import EventScheduler
+from repro.des.timer import Timer
+
+
+class DeliveryProbabilityEstimator:
+    """Maintains one node's ``xi`` with the Eq. 1 update/decay dynamics."""
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        scheduler: EventScheduler,
+        initial_xi: float = 0.0,
+    ) -> None:
+        if not 0.0 <= initial_xi <= 1.0:
+            raise ValueError("initial xi must be in [0, 1]")
+        self._params = params
+        self._xi = float(initial_xi)
+        self._timer = Timer(scheduler, self._on_timeout)
+        self.transmissions = 0
+        self.timeouts = 0
+
+    @property
+    def xi(self) -> float:
+        """Current delivery probability, always in [0, 1]."""
+        return self._xi
+
+    def start(self) -> None:
+        """Arm the decay timer (call once when the node boots)."""
+        self._timer.start(self._params.xi_timeout_s)
+
+    def stop(self) -> None:
+        """Disarm the decay timer (end of simulation)."""
+        self._timer.cancel()
+
+    def on_transmission(self, receiver_xis: Sequence[float]) -> float:
+        """Apply the Eq. 1 transmission update after a confirmed transfer.
+
+        ``receiver_xis`` are the delivery probabilities of the receivers
+        that acknowledged the message (1.0 entries for sinks).  Restarts
+        the decay timer.  Returns the new ``xi``.
+        """
+        if not receiver_xis:
+            raise ValueError("transmission update needs at least one receiver")
+        for xi_k in receiver_xis:
+            if not 0.0 <= xi_k <= 1.0:
+                raise ValueError(f"receiver xi out of range: {xi_k!r}")
+        alpha = self._params.alpha
+        if self._params.xi_multicast_rule == "best":
+            best = max(receiver_xis)
+            self._xi = (1.0 - alpha) * self._xi + alpha * best
+        else:  # "sequential"
+            for xi_k in receiver_xis:
+                self._xi = (1.0 - alpha) * self._xi + alpha * xi_k
+        self.transmissions += 1
+        self._timer.start(self._params.xi_timeout_s)
+        return self._xi
+
+    def _on_timeout(self) -> None:
+        """Eq. 1 timeout branch: decay and re-arm."""
+        self._xi *= 1.0 - self._params.alpha
+        self.timeouts += 1
+        self._timer.start(self._params.xi_timeout_s)

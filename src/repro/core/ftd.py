@@ -1,0 +1,76 @@
+"""Fault-tolerance-degree algebra (Sec. 3.1.2, Eq. 2-3).
+
+The FTD of a message copy is the probability that at least one *other*
+copy of the message reaches a sink.  When sensor ``i`` (holding FTD
+``F_i``) multicasts to the receiver set ``Phi``:
+
+* the copy given to receiver ``j`` gets (Eq. 2)::
+
+      F_j = 1 - (1 - F_i) * (1 - xi_i) * prod_{m in Phi, m != j} (1 - xi_m)
+
+  — every path except ``j``'s own must fail for ``j``'s copy to be the
+  last hope;
+
+* the sender's own copy becomes (Eq. 3)::
+
+      F_i = 1 - (1 - F_i) * prod_{m in Phi} (1 - xi_m)
+
+  — the new copies all add redundancy from ``i``'s perspective.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def _clamp(p: float) -> float:
+    return min(1.0, max(0.0, p))
+
+
+def receiver_copy_ftd(
+    sender_ftd: float,
+    sender_xi: float,
+    receiver_xis: Sequence[float],
+    receiver_index: int,
+) -> float:
+    """Eq. (2): FTD attached to the copy sent to ``Phi[receiver_index]``."""
+    _check_probability("sender_ftd", sender_ftd)
+    _check_probability("sender_xi", sender_xi)
+    if not 0 <= receiver_index < len(receiver_xis):
+        raise IndexError(f"receiver index {receiver_index} out of range")
+    survive = (1.0 - sender_ftd) * (1.0 - sender_xi)
+    for m, xi_m in enumerate(receiver_xis):
+        _check_probability("receiver xi", xi_m)
+        if m != receiver_index:
+            survive *= 1.0 - xi_m
+    return _clamp(1.0 - survive)
+
+
+def sender_ftd_after_multicast(
+    sender_ftd: float,
+    receiver_xis: Sequence[float],
+) -> float:
+    """Eq. (3): the sender's own FTD after multicasting to ``Phi``."""
+    _check_probability("sender_ftd", sender_ftd)
+    survive = 1.0 - sender_ftd
+    for xi_m in receiver_xis:
+        _check_probability("receiver xi", xi_m)
+        survive *= 1.0 - xi_m
+    return _clamp(1.0 - survive)
+
+
+def combined_delivery_probability(
+    message_ftd: float,
+    receiver_xis: Sequence[float],
+) -> float:
+    """The selection stop-rule quantity ``1 - (1 - F) * prod (1 - xi_m)``.
+
+    Identical in form to Eq. (3); named separately because Sec. 3.2.2
+    uses it as the running total compared against the threshold ``R``.
+    """
+    return sender_ftd_after_multicast(message_ftd, receiver_xis)

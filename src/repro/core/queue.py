@@ -1,0 +1,174 @@
+"""The FTD-sorted data queue (Sec. 3.1.2).
+
+Messages are kept in ascending FTD order: the smallest-FTD (most
+important) message sits at the head and is transmitted first.  A message
+is dropped (a) from the tail when an insertion overflows the capacity, or
+(b) immediately when its FTD exceeds the drop threshold — including a
+copy just confirmed at a sink, whose FTD is 1.
+
+Ties on FTD preserve insertion order (FIFO among equals), which keeps
+behaviour deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.message import MessageCopy
+
+
+@dataclass
+class QueueStats:
+    """Counters of queue-management outcomes."""
+
+    inserted: int = 0
+    drops_overflow: int = 0
+    drops_threshold: int = 0
+    duplicates_merged: int = 0
+    removed_delivered: int = 0
+
+
+class FtdQueue:
+    """Bounded priority queue ordered by ascending FTD."""
+
+    def __init__(self, capacity: int, drop_threshold: float = 0.9) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0.0 < drop_threshold <= 1.0:
+            raise ValueError("drop threshold must be in (0, 1]")
+        self.capacity = capacity
+        self.drop_threshold = drop_threshold
+        self._keys: List[Tuple[float, int]] = []  # (ftd, seq) sort keys
+        self._copies: List[MessageCopy] = []
+        self._seq = 0
+        self.stats = QueueStats()
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._copies)
+
+    def __iter__(self) -> Iterator[MessageCopy]:
+        return iter(list(self._copies))
+
+    def __contains__(self, message_id: int) -> bool:
+        return any(c.message_id == message_id for c in self._copies)
+
+    @property
+    def free_slots(self) -> int:
+        """Unoccupied buffer slots."""
+        return self.capacity - len(self._copies)
+
+    # ------------------------------------------------------------------
+    # insertion / removal
+    # ------------------------------------------------------------------
+    def insert(self, copy: MessageCopy) -> bool:
+        """Insert ``copy`` per the Sec. 3.1.2 rules; True iff it was kept.
+
+        Over-threshold copies are rejected outright.  A duplicate of a
+        message already queued is merged by keeping the smaller FTD (the
+        more conservative estimate).  On overflow the largest-FTD entry —
+        possibly the incoming copy itself — is dropped.
+        """
+        if copy.ftd >= self.drop_threshold:
+            self.stats.drops_threshold += 1
+            return False
+
+        existing = self._find(copy.message_id)
+        if existing is not None:
+            self.stats.duplicates_merged += 1
+            if copy.ftd < self._copies[existing].ftd:
+                old = self._pop_index(existing)
+                merged = MessageCopy(
+                    old.message, ftd=copy.ftd,
+                    hops=min(old.hops, copy.hops),
+                    received_at=old.received_at,
+                )
+                self._insort(merged)
+            return True
+
+        self._insort(copy)
+        self.stats.inserted += 1
+        if len(self._copies) > self.capacity:
+            self._pop_index(len(self._copies) - 1)
+            self.stats.drops_overflow += 1
+            # The incoming copy may itself have been the tail just dropped.
+            return self._find(copy.message_id) is not None
+        return True
+
+    def peek(self) -> Optional[MessageCopy]:
+        """The most important (smallest FTD) message, or None when empty."""
+        return self._copies[0] if self._copies else None
+
+    def pop(self) -> MessageCopy:
+        """Remove and return the head (smallest FTD)."""
+        if not self._copies:
+            raise IndexError("pop from empty queue")
+        return self._pop_index(0)
+
+    def remove(self, message_id: int) -> Optional[MessageCopy]:
+        """Remove a message by id (e.g. once confirmed at a sink)."""
+        idx = self._find(message_id)
+        if idx is None:
+            return None
+        self.stats.removed_delivered += 1
+        return self._pop_index(idx)
+
+    def reinsert_with_ftd(self, copy: MessageCopy, new_ftd: float) -> bool:
+        """Put a popped head back with an updated FTD (post-multicast).
+
+        Applies the threshold-drop rule: a copy pushed past the drop
+        threshold by Eq. (3) is discarded (Sec. 3.1.2).
+        """
+        updated = MessageCopy(copy.message, ftd=min(1.0, new_ftd),
+                              hops=copy.hops, received_at=copy.received_at)
+        if updated.ftd >= self.drop_threshold:
+            self.stats.drops_threshold += 1
+            return False
+        self._insort(updated)
+        if len(self._copies) > self.capacity:
+            self._pop_index(len(self._copies) - 1)
+            self.stats.drops_overflow += 1
+            return self._find(updated.message_id) is not None
+        return True
+
+    # ------------------------------------------------------------------
+    # queries used by the protocol
+    # ------------------------------------------------------------------
+    def available_slots_for(self, ftd: float) -> int:
+        """``B(F)`` of Sec. 3.2.2: free slots plus slots held by messages
+        with FTD strictly greater than ``ftd`` (which an incoming more
+        important message could displace)."""
+        displaceable = sum(1 for c in self._copies if c.ftd > ftd)
+        return self.free_slots + displaceable
+
+    def count_more_important_than(self, ftd_bound: float) -> int:
+        """``K_F`` of Eq. (5): messages with FTD smaller than ``ftd_bound``."""
+        return sum(1 for c in self._copies if c.ftd < ftd_bound)
+
+    def importance_fraction(self, ftd_bound: float) -> float:
+        """Eq. (5): ``alpha_i = K_F / K`` over the *capacity* K."""
+        return self.count_more_important_than(ftd_bound) / self.capacity
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _find(self, message_id: int) -> Optional[int]:
+        for i, c in enumerate(self._copies):
+            if c.message_id == message_id:
+                return i
+        return None
+
+    def _insort(self, copy: MessageCopy) -> None:
+        key = (copy.ftd, self._seq)
+        self._seq += 1
+        idx = bisect.bisect_left(self._keys, key)
+        self._keys.insert(idx, key)
+        self._copies.insert(idx, copy)
+
+    def _pop_index(self, idx: int) -> MessageCopy:
+        self._keys.pop(idx)
+        return self._copies.pop(idx)

@@ -1,0 +1,62 @@
+"""Receiver-subset selection for the synchronous phase (Sec. 3.2.2).
+
+Given the qualified responders collected during the contention window,
+the sender picks the smallest prefix (by descending delivery probability)
+whose combined delivery probability pushes the message past the threshold
+``R`` — adding more receivers past that point only wastes energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.ftd import combined_delivery_probability
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One CTS responder: id, advertised ``xi`` and buffer space."""
+
+    node_id: int
+    xi: float
+    buffer_slots: int
+    is_sink: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.xi <= 1.0:
+            raise ValueError("candidate xi must be in [0, 1]")
+        if self.buffer_slots < 0:
+            raise ValueError("buffer slots cannot be negative")
+
+
+def select_receivers(
+    sender_xi: float,
+    message_ftd: float,
+    candidates: Sequence[Candidate],
+    threshold_r: float,
+) -> List[Candidate]:
+    """The Sec. 3.2.2 greedy: best receivers first, stop once ``R`` is met.
+
+    Candidates are sorted by decreasing ``xi``; each is added if it still
+    qualifies (strictly higher ``xi`` than the sender, positive buffer
+    space for this FTD), and the loop breaks as soon as
+    ``1 - (1 - F) * prod(1 - xi_m) > R``.
+    """
+    if not 0.0 <= sender_xi <= 1.0:
+        raise ValueError("sender xi must be in [0, 1]")
+    if not 0.0 <= message_ftd <= 1.0:
+        raise ValueError("message FTD must be in [0, 1]")
+    if not 0.0 < threshold_r <= 1.0:
+        raise ValueError("threshold R must be in (0, 1]")
+
+    selected: List[Candidate] = []
+    ranked = sorted(candidates, key=lambda c: (-c.xi, c.node_id))
+    for cand in ranked:
+        if cand.xi > sender_xi and cand.buffer_slots > 0:
+            selected.append(cand)
+        if selected and combined_delivery_probability(
+            message_ftd, [c.xi for c in selected]
+        ) > threshold_r:
+            break
+    return selected

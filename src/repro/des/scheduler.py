@@ -1,0 +1,133 @@
+"""The event scheduler: a heap-ordered discrete-event loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.des.event import Event
+
+
+class SchedulerError(RuntimeError):
+    """Raised on invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+class EventScheduler:
+    """Heap-based discrete-event scheduler.
+
+    The scheduler owns the simulation clock (:attr:`now`, in seconds) and a
+    priority queue of :class:`~repro.des.event.Event` objects.  Simultaneous
+    events fire in deterministic order (priority, then insertion order), so
+    a simulation with a fixed random seed is fully reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: List[Event] = []
+        self._events_fired: int = 0
+        self._stopped: bool = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (skips cancelled ones)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay: {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule at t={time!r} before now={self._now!r}"
+            )
+        event = Event(time, self._seq, callback, args, priority=priority)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that :meth:`run` / :meth:`run_until` return after the
+        currently executing event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``False`` when the heap is empty, ``True`` otherwise.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.cancelled = True  # fired events cannot be cancelled again
+            event.callback(*event.args)
+            self._events_fired += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until the clock would pass ``end_time``.
+
+        The clock is left exactly at ``end_time``; events scheduled at
+        ``end_time`` itself are executed.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+        if end_time > self._now:
+            self._now = end_time
+
+    def run(self) -> None:
+        """Run until the event heap is exhausted (or :meth:`stop` is called)."""
+        self._stopped = False
+        while not self._stopped and self.step():
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventScheduler(now={self._now:.3f}, pending={self.pending}, "
+            f"fired={self._events_fired})"
+        )

@@ -1,0 +1,64 @@
+"""Restartable one-shot timers on top of the event scheduler.
+
+The DFT-MSN protocol uses several restartable timeouts (the delivery
+probability decay timer of Eq. (1), the contention-window wait, the
+ACK-waiting window).  :class:`Timer` wraps cancel-and-reschedule so that
+protocol code stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.des.event import Event
+from repro.des.scheduler import EventScheduler
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``Timer(sched, cb)`` is idle until :meth:`start` is called; starting an
+    already-running timer reschedules it (the earlier firing is cancelled).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        callback: Callable[[], Any],
+    ) -> None:
+        self._scheduler = scheduler
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def running(self) -> bool:
+        """``True`` while a firing is pending."""
+        return self._event is not None and self._event.active
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        """Absolute firing time, or ``None`` when idle."""
+        if self.running:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """(Re)start the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._scheduler.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Cancel a pending firing; no-op when idle."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.running:
+            return f"Timer(expires_at={self.expires_at:.6f})"
+        return "Timer(idle)"

@@ -1,0 +1,12 @@
+"""Energy substrate: radio power profiles and time-integrated accounting.
+
+The paper estimates power from the Berkeley-mote transceiver (Sec. 5):
+receiving 13.5 mW, transmitting 24.75 mW, sleeping 15 µW; idle listening
+costs the same as receiving, and switching the radio on/off costs four
+times the listening power (as energy per transition, see
+:class:`~repro.energy.model.PowerProfile`).
+"""
+
+from repro.energy.model import PowerProfile, EnergyMeter, BERKELEY_MOTE
+
+__all__ = ["PowerProfile", "EnergyMeter", "BERKELEY_MOTE"]

@@ -1,0 +1,31 @@
+"""Experiment harness: multi-run sweeps, figure reproduction, CLI.
+
+Every table/figure of the paper's evaluation (and the text-reported
+studies) has an entry in :data:`repro.harness.registry.EXPERIMENTS`;
+``python -m repro run <id>`` (or the ``dftmsn`` script) regenerates it.
+"""
+
+from repro.harness.experiment import (
+    AggregateResult,
+    run_replicated,
+    sweep,
+)
+from repro.harness.figures import (
+    fig2,
+    density_study,
+    speed_study,
+    format_series_table,
+)
+from repro.harness.registry import EXPERIMENTS, ExperimentSpec
+
+__all__ = [
+    "AggregateResult",
+    "run_replicated",
+    "sweep",
+    "fig2",
+    "density_study",
+    "speed_study",
+    "format_series_table",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+Examples::
+
+    dftmsn list
+    dftmsn run fig2a --duration 5000 --replicates 2
+    dftmsn single --protocol opt --sinks 3 --duration 5000 --seed 7
+    python -m repro run fig2b
+
+``--duration`` scales every experiment: the paper's full scale is
+25 000 s, which takes a while in pure Python; 3 000-5 000 s already
+reproduces the qualitative shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness.registry import EXPERIMENTS
+from repro.network.config import PROTOCOLS, SimulationConfig
+from repro.network.simulation import run_simulation
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dftmsn",
+        description=("Reproduction harness for 'Protocol Design and "
+                     "Optimization for Delay/Fault-Tolerant Mobile Sensor "
+                     "Networks' (ICDCS 2007)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run_p = sub.add_parser("run", help="reproduce a paper artifact")
+    run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_p.add_argument("--duration", type=float, default=25_000.0,
+                       help="simulated seconds per run (paper: 25000)")
+    run_p.add_argument("--replicates", type=int, default=3,
+                       help="runs averaged per data point (default 3)")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines")
+    run_p.add_argument("--save", metavar="PATH", default=None,
+                       help="also write the results as JSON to PATH")
+
+    single_p = sub.add_parser("single", help="run one simulation")
+    single_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                          default="opt")
+    single_p.add_argument("--sinks", type=int, default=3)
+    single_p.add_argument("--sensors", type=int, default=100)
+    single_p.add_argument("--duration", type=float, default=25_000.0)
+    single_p.add_argument("--seed", type=int, default=1)
+    single_p.add_argument("--speed-max", type=float, default=5.0)
+    single_p.add_argument("--json", action="store_true",
+                          help="emit the result as JSON")
+
+    contact_p = sub.add_parser(
+        "contact", help="contact-level (ideal-MAC) policy comparison")
+    contact_p.add_argument("--duration", type=float, default=25_000.0)
+    contact_p.add_argument("--seed", type=int, default=1)
+    contact_p.add_argument("--sensors", type=int, default=100)
+    contact_p.add_argument("--sinks", type=int, default=3)
+    contact_p.add_argument("--policies", default="fad,direct,epidemic,zbr,spray")
+
+    xval_p = sub.add_parser(
+        "crossval", help="packet-level vs contact-level cross-validation")
+    xval_p.add_argument("--duration", type=float, default=5_000.0)
+    xval_p.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_list() -> int:
+    for exp_id, spec in sorted(EXPERIMENTS.items()):
+        print(f"{exp_id:12s} {spec.title}")
+        print(f"{'':12s}   paper: {spec.paper_claim}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = EXPERIMENTS[args.experiment]
+    progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr)
+    print(f"# {spec.title}", file=sys.stderr)
+    table = spec.run(duration_s=args.duration, replicates=args.replicates,
+                     progress=progress)
+    print(spec.format(table))
+    if args.save:
+        import pathlib
+
+        from repro.harness.report import save_series_table
+
+        path = save_series_table(table, pathlib.Path(args.save),
+                                 args.experiment, args.duration)
+        print(f"(results saved to {path})", file=sys.stderr)
+    return 0
+
+
+def _cmd_single(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        protocol=args.protocol,
+        n_sinks=args.sinks,
+        n_sensors=args.sensors,
+        duration_s=args.duration,
+        seed=args.seed,
+        speed_max_mps=args.speed_max,
+    )
+    result = run_simulation(config)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        d = result.to_dict()
+        print(f"protocol          {d['protocol']}")
+        print(f"generated         {d['generated']}")
+        print(f"delivered         {d['delivered']}")
+        print(f"delivery ratio    {d['delivery_ratio']:.3f}")
+        delay = d["average_delay_s"]
+        print(f"avg delay (s)     "
+              f"{'-' if delay is None else format(delay, '.1f')}")
+        print(f"avg power (mW)    {d['average_power_mw']:.3f}")
+        print(f"transmissions     {d['transmissions']}")
+        print(f"collision frames  {d['frames_corrupted']}")
+    return 0
+
+
+def _cmd_contact(args: argparse.Namespace) -> int:
+    from repro.harness.contact_experiments import (
+        format_policy_comparison,
+        policy_comparison,
+    )
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    results = policy_comparison(
+        duration_s=args.duration, policies=policies, seed=args.seed,
+        n_sensors=args.sensors, n_sinks=args.sinks,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    print(format_policy_comparison(results))
+    return 0
+
+
+def _cmd_crossval(args: argparse.Namespace) -> int:
+    from repro.harness.contact_experiments import (
+        cross_validation,
+        format_cross_validation,
+    )
+
+    table = cross_validation(duration_s=args.duration, seed=args.seed,
+                             progress=lambda msg: print(msg, file=sys.stderr))
+    print(format_cross_validation(table))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "single":
+        return _cmd_single(args)
+    if args.command == "contact":
+        return _cmd_contact(args)
+    if args.command == "crossval":
+        return _cmd_crossval(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Replicated runs and parameter sweeps.
+
+The paper averages each data point over multiple simulation runs
+(Sec. 5); :func:`run_replicated` does the same with per-replicate seeds,
+and :func:`sweep` maps a config-editing function over a parameter axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.metrics.stats import mean_confidence_interval, summarize
+from repro.network.config import SimulationConfig
+from repro.network.simulation import SimulationResult, run_simulation
+
+
+@dataclass
+class AggregateResult:
+    """Mean metrics over the replicates of one configuration."""
+
+    config: SimulationConfig
+    replicates: List[SimulationResult]
+
+    @property
+    def n(self) -> int:
+        """Number of replicates aggregated."""
+        return len(self.replicates)
+
+    def _values(self, attr: str) -> List[float]:
+        values = []
+        for r in self.replicates:
+            v = getattr(r, attr)
+            if v is not None:
+                values.append(float(v))
+        return values
+
+    def mean(self, attr: str) -> float:
+        """Mean of one result attribute over replicates (NaN if absent)."""
+        values = self._values(attr)
+        if not values:
+            return float("nan")
+        return sum(values) / len(values)
+
+    def ci(self, attr: str) -> tuple:
+        """(mean, 95% half-width) of one result attribute."""
+        return mean_confidence_interval(self._values(attr))
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Mean delivery ratio over replicates."""
+        return self.mean("delivery_ratio")
+
+    @property
+    def average_delay_s(self) -> float:
+        """Mean delivery delay over replicates."""
+        return self.mean("average_delay_s")
+
+    @property
+    def average_power_mw(self) -> float:
+        """Mean nodal power over replicates."""
+        return self.mean("average_power_mw")
+
+    def mean_overhead(self) -> float:
+        """Mean transmissions-per-delivered-message over replicates."""
+        values = [r.transmissions_per_delivery() for r in self.replicates]
+        values = [v for v in values if v is not None]
+        if not values:
+            return float("nan")
+        return sum(values) / len(values)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-metric summary statistics over replicates."""
+        return {
+            attr: summarize(self._values(attr))
+            for attr in ("delivery_ratio", "average_delay_s",
+                         "average_power_mw", "average_hops")
+        }
+
+
+def run_replicated(
+    config: SimulationConfig,
+    replicates: int = 3,
+    base_seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> AggregateResult:
+    """Run ``config`` with ``replicates`` distinct seeds and aggregate."""
+    if replicates < 1:
+        raise ValueError("need at least one replicate")
+    results: List[SimulationResult] = []
+    for rep in range(replicates):
+        cfg = config.with_seed(base_seed + 1000 * rep + config.seed)
+        if progress is not None:
+            progress(f"  run {rep + 1}/{replicates} "
+                     f"(protocol={cfg.protocol}, seed={cfg.seed})")
+        results.append(run_simulation(cfg))
+    return AggregateResult(config=config, replicates=results)
+
+
+def sweep(
+    base: SimulationConfig,
+    axis_name: str,
+    axis_values: Sequence[object],
+    edit: Callable[[SimulationConfig, object], SimulationConfig],
+    replicates: int = 3,
+    base_seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[object, AggregateResult]:
+    """Run ``base`` across an axis (e.g. number of sinks), aggregated.
+
+    ``edit(config, value)`` produces the per-point configuration; the
+    common case is ``lambda c, v: replace(c, n_sinks=v)``.
+    """
+    out: Dict[object, AggregateResult] = {}
+    for value in axis_values:
+        if progress is not None:
+            progress(f"{axis_name} = {value}")
+        cfg = edit(base, value)
+        out[value] = run_replicated(cfg, replicates=replicates,
+                                    base_seed=base_seed, progress=progress)
+    return out
+
+
+def vary_sinks(config: SimulationConfig, n_sinks: object) -> SimulationConfig:
+    """Axis editor: set the number of sinks."""
+    return replace(config, n_sinks=int(n_sinks))  # type: ignore[call-arg]
+
+
+def vary_sensors(config: SimulationConfig, n_sensors: object) -> SimulationConfig:
+    """Axis editor: set the number of sensors."""
+    return replace(config, n_sensors=int(n_sensors))  # type: ignore[call-arg]
+
+
+def vary_speed(config: SimulationConfig, vmax: object) -> SimulationConfig:
+    """Axis editor: set the maximum nodal speed."""
+    return replace(config, speed_max_mps=float(vmax))  # type: ignore[call-arg]

@@ -1,0 +1,58 @@
+"""Result export: persist experiment outputs as JSON for later analysis.
+
+``dftmsn run <exp>`` prints human-readable tables; this module lets the
+same runs be captured as structured records (one JSON document per
+experiment), which EXPERIMENTS.md generation and downstream plotting
+consume.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from repro.harness.figures import SeriesTable
+
+
+def series_table_to_records(table: SeriesTable) -> Dict[str, Dict[str, dict]]:
+    """Flatten a protocol -> axis -> AggregateResult table to plain data."""
+    records: Dict[str, Dict[str, dict]] = {}
+    for protocol, series in table.items():
+        records[protocol] = {}
+        for axis_value, agg in series.items():
+            records[protocol][str(axis_value)] = {
+                "replicates": agg.n,
+                "delivery_ratio": agg.mean("delivery_ratio"),
+                "average_delay_s": agg.mean("average_delay_s"),
+                "average_power_mw": agg.mean("average_power_mw"),
+                "average_hops": agg.mean("average_hops"),
+                "per_replicate": [r.to_dict() for r in agg.replicates],
+            }
+    return records
+
+
+def save_series_table(
+    table: SeriesTable,
+    path: pathlib.Path,
+    exp_id: str,
+    duration_s: float,
+    notes: Optional[str] = None,
+) -> pathlib.Path:
+    """Write one experiment's results as a JSON document."""
+    payload = {
+        "experiment": exp_id,
+        "duration_s": duration_s,
+        "notes": notes or "",
+        "results": series_table_to_records(table),
+    }
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=float))
+    return path
+
+
+def load_series_records(path: pathlib.Path) -> dict:
+    """Read back a saved experiment document."""
+    return json.loads(pathlib.Path(path).read_text())

@@ -1,0 +1,12 @@
+"""Metrics substrate: per-run collection and multi-run aggregation."""
+
+from repro.metrics.collector import MetricsCollector, DeliveryRecord
+from repro.metrics.stats import RunningStat, summarize, mean_confidence_interval
+
+__all__ = [
+    "MetricsCollector",
+    "DeliveryRecord",
+    "RunningStat",
+    "summarize",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,115 @@
+"""Per-run metrics collection.
+
+The collector is wired into the simulation: sensor nodes report message
+generation, sink agents report deliveries.  The paper's three headline
+metrics (Sec. 5) are:
+
+* **delivery ratio** — unique messages delivered / messages generated;
+* **average nodal power consumption rate (mW)** — mean over sensor nodes
+  of consumed energy divided by elapsed time;
+* **average delivery delay (s)** — generation-to-first-sink-arrival time
+  over delivered messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.message import MessageCopy
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """First arrival of a message at any sink."""
+
+    message_id: int
+    origin: int
+    sink_id: int
+    created_at: float
+    delivered_at: float
+    hops: int
+
+    @property
+    def delay(self) -> float:
+        """Generation-to-delivery latency in seconds."""
+        return self.delivered_at - self.created_at
+
+
+class MetricsCollector:
+    """Accumulates generation/delivery events during one run."""
+
+    def __init__(self) -> None:
+        self.generated: Dict[int, float] = {}  # message_id -> created_at
+        self.deliveries: Dict[int, DeliveryRecord] = {}
+        self.duplicate_deliveries = 0
+
+    # ------------------------------------------------------------------
+    # event hooks
+    # ------------------------------------------------------------------
+    def record_generation(self, message_id: int, created_at: float) -> None:
+        """A sensor generated a new message."""
+        if message_id in self.generated:
+            raise ValueError(f"message {message_id} generated twice")
+        self.generated[message_id] = created_at
+
+    def record_delivery(self, copy: MessageCopy, sink_id: int,
+                        now: float) -> None:
+        """A sink received a message copy (deduplicated by message id)."""
+        mid = copy.message_id
+        if mid in self.deliveries:
+            self.duplicate_deliveries += 1
+            return
+        self.deliveries[mid] = DeliveryRecord(
+            message_id=mid,
+            origin=copy.message.origin,
+            sink_id=sink_id,
+            created_at=copy.message.created_at,
+            delivered_at=now,
+            hops=copy.hops + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def messages_generated(self) -> int:
+        """Total messages sensed network-wide."""
+        return len(self.generated)
+
+    @property
+    def messages_delivered(self) -> int:
+        """Unique messages that reached any sink."""
+        return len(self.deliveries)
+
+    def delivery_ratio(self) -> float:
+        """Unique deliveries over generations (0 when nothing generated)."""
+        if not self.generated:
+            return 0.0
+        return len(self.deliveries) / len(self.generated)
+
+    def average_delay(self) -> Optional[float]:
+        """Mean generation-to-delivery delay; None when nothing delivered."""
+        if not self.deliveries:
+            return None
+        return sum(r.delay for r in self.deliveries.values()) / len(self.deliveries)
+
+    def average_hops(self) -> Optional[float]:
+        """Mean hop count of delivered messages."""
+        if not self.deliveries:
+            return None
+        return sum(r.hops for r in self.deliveries.values()) / len(self.deliveries)
+
+    def delays(self) -> List[float]:
+        """All per-message delivery delays."""
+        return [r.delay for r in self.deliveries.values()]
+
+    def delay_percentile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of delivery delay (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        delays = sorted(self.delays())
+        if not delays:
+            return None
+        idx = min(len(delays) - 1, int(q * len(delays)))
+        return delays[idx]

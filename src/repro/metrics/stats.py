@@ -1,0 +1,89 @@
+"""Small statistics helpers for multi-run aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class RunningStat:
+    """Welford online mean/variance accumulator."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Fold an iterable of samples into the accumulator."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self.n else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n - 1 denominator)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / min / max of a sample (empty-safe)."""
+    if not values:
+        return {"n": 0, "mean": float("nan"), "std": float("nan"),
+                "min": float("nan"), "max": float("nan")}
+    stat = RunningStat()
+    stat.extend(values)
+    return {
+        "n": float(stat.n),
+        "mean": stat.mean,
+        "std": stat.std,
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+# Two-sided t critical values at 95% for small samples; beyond the table
+# the normal approximation is close enough for reporting purposes.
+_T_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+         6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """(mean, half-width) of a t-based confidence interval.
+
+    Only 95% intervals are tabulated; other confidences raise.  With
+    fewer than two samples the half-width is reported as 0.
+    """
+    if confidence != 0.95:
+        raise ValueError("only 95% intervals are supported")
+    if not values:
+        return float("nan"), 0.0
+    stat = RunningStat()
+    stat.extend(values)
+    if stat.n < 2:
+        return stat.mean, 0.0
+    dof = stat.n - 1
+    t = _T_95.get(dof, 1.96)
+    half = t * stat.std / math.sqrt(stat.n)
+    return stat.mean, half

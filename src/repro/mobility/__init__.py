@@ -1,0 +1,27 @@
+"""Mobility substrate.
+
+Implements the paper's zone-grid mobility model (Sec. 5) plus standard
+alternatives (random waypoint, random walk, stationary) and the
+:class:`~repro.mobility.manager.MobilityManager`, which advances all
+models on a fixed tick and answers the spatial queries
+(:meth:`neighbors_of` / :meth:`in_range`) that the wireless medium needs.
+"""
+
+from repro.mobility.base import MobilityModel, Area
+from repro.mobility.zone import ZoneGridMobility
+from repro.mobility.waypoint import RandomWaypointMobility
+from repro.mobility.walk import RandomWalkMobility
+from repro.mobility.levy import LevyWalkMobility
+from repro.mobility.stationary import StationaryMobility
+from repro.mobility.manager import MobilityManager
+
+__all__ = [
+    "MobilityModel",
+    "Area",
+    "ZoneGridMobility",
+    "RandomWaypointMobility",
+    "RandomWalkMobility",
+    "LevyWalkMobility",
+    "StationaryMobility",
+    "MobilityManager",
+]

@@ -1,0 +1,112 @@
+"""Truncated Levy-walk mobility (extension model).
+
+Human mobility is famously heavy-tailed: many short hops, occasional
+long excursions.  The truncated Levy walk (step lengths with a power-law
+tail, pause times likewise) is the standard model of that behaviour and
+is a natural sensitivity study for a *wearable*-sensor network: the
+paper's zone model captures home affinity, the Levy walk captures
+excursion burstiness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.mobility.base import Area, MobilityModel
+
+
+def _truncated_pareto(rng: random.Random, alpha: float, lo: float,
+                      hi: float) -> float:
+    """A draw from a Pareto(alpha) tail truncated to [lo, hi]."""
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+    u = rng.random()
+    # Inverse CDF of the truncated Pareto.
+    lo_a = lo ** -alpha
+    hi_a = hi ** -alpha
+    return (lo_a - u * (lo_a - hi_a)) ** (-1.0 / alpha)
+
+
+class LevyWalkMobility(MobilityModel):
+    """Truncated Levy walk with reflecting boundaries.
+
+    Each epoch: draw a step length from a truncated power law, walk it
+    at a speed drawn uniformly, then pause for a power-law time.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        area: Area,
+        rng: random.Random,
+        step_alpha: float = 1.5,
+        step_min_m: float = 1.0,
+        step_max_m: float = 100.0,
+        pause_alpha: float = 1.5,
+        pause_min_s: float = 1.0,
+        pause_max_s: float = 60.0,
+        speed_min: float = 0.5,
+        speed_max: float = 5.0,
+    ) -> None:
+        super().__init__(node_ids, area)
+        if step_alpha <= 0 or pause_alpha <= 0:
+            raise ValueError("power-law exponents must be positive")
+        if not 0 < step_min_m < step_max_m:
+            raise ValueError("invalid step-length range")
+        if not 0 < pause_min_s < pause_max_s:
+            raise ValueError("invalid pause range")
+        if speed_min <= 0 or speed_max < speed_min:
+            raise ValueError("invalid speed range")
+        self._rng = rng
+        self.step_alpha = step_alpha
+        self.step_min_m = step_min_m
+        self.step_max_m = step_max_m
+        self.pause_alpha = pause_alpha
+        self.pause_min_s = pause_min_s
+        self.pause_max_s = pause_max_s
+        self.speed_min = speed_min
+        self.speed_max = speed_max
+
+        n = len(self.node_ids)
+        self.velocities = np.zeros((n, 2), dtype=float)
+        self._walk_left = np.zeros(n, dtype=float)
+        self._pause_left = np.zeros(n, dtype=float)
+        for i in range(n):
+            self.positions[i] = area.random_point(rng)
+            self._new_epoch(i)
+
+    def _new_epoch(self, i: int) -> None:
+        length = _truncated_pareto(self._rng, self.step_alpha,
+                                   self.step_min_m, self.step_max_m)
+        speed = self._rng.uniform(self.speed_min, self.speed_max)
+        heading = self._rng.uniform(0.0, 2.0 * math.pi)
+        self.velocities[i, 0] = speed * math.cos(heading)
+        self.velocities[i, 1] = speed * math.sin(heading)
+        self._walk_left[i] = length / speed
+        self._pause_left[i] = _truncated_pareto(
+            self._rng, self.pause_alpha, self.pause_min_s, self.pause_max_s)
+
+    def step(self, dt: float) -> None:
+        """Advance every node by dt (walk, pause, new epoch)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        n = len(self.node_ids)
+        for i in range(n):
+            remaining = dt
+            while remaining > 1e-12:
+                if self._walk_left[i] > 0:
+                    used = min(self._walk_left[i], remaining)
+                    self.positions[i] += self.velocities[i] * used
+                    self._walk_left[i] -= used
+                    remaining -= used
+                elif self._pause_left[i] > 0:
+                    used = min(self._pause_left[i], remaining)
+                    self._pause_left[i] -= used
+                    remaining -= used
+                else:
+                    self._new_epoch(i)
+        self._reflect_into_area(self.positions, self.velocities)

@@ -1,0 +1,120 @@
+"""Mobility manager: advances models on a tick and serves spatial queries.
+
+The manager owns the global ``node id -> position`` view assembled from
+one or more mobility models (e.g. stationary sinks + zone-mobile sensors)
+and maintains a uniform-grid spatial index with cell size equal to the
+communication range, so :meth:`neighbors_of` only scans the 3 x 3 cell
+neighborhood.  It implements the medium's
+:class:`~repro.radio.medium.NeighborProvider` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.des.scheduler import EventScheduler
+from repro.mobility.base import Area, MobilityModel
+
+
+class MobilityManager:
+    """Drives mobility models and indexes node positions."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        area: Area,
+        models: Sequence[MobilityModel],
+        comm_range: float = 10.0,
+        tick_s: float = 1.0,
+    ) -> None:
+        if comm_range <= 0 or tick_s <= 0:
+            raise ValueError("comm_range and tick_s must be positive")
+        self._scheduler = scheduler
+        self.area = area
+        self.models = list(models)
+        self.comm_range = comm_range
+        self.tick_s = tick_s
+
+        ids: List[int] = []
+        for model in self.models:
+            ids.extend(model.node_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError("node ids overlap between mobility models")
+        self.node_ids = sorted(ids)
+        self._index_of: Dict[int, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        n = len(self.node_ids)
+        self.positions = np.zeros((n, 2), dtype=float)
+
+        self._cells: Dict[Tuple[int, int], List[int]] = {}
+        self._range_sq = comm_range * comm_range
+        self._started = False
+        self._gather()
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic ticking on the scheduler (idempotent)."""
+        if not self._started:
+            self._started = True
+            self._scheduler.schedule(self.tick_s, self._tick, priority=-10)
+
+    def _tick(self) -> None:
+        self.step(self.tick_s)
+        self._scheduler.schedule(self.tick_s, self._tick, priority=-10)
+
+    def step(self, dt: float) -> None:
+        """Advance all models by ``dt`` and refresh the spatial index."""
+        for model in self.models:
+            model.step(dt)
+        self._gather()
+        self._rebuild_index()
+
+    def _gather(self) -> None:
+        for model in self.models:
+            for local, nid in enumerate(model.node_ids):
+                self.positions[self._index_of[nid]] = model.positions[local]
+
+    def _rebuild_index(self) -> None:
+        self._cells.clear()
+        inv = 1.0 / self.comm_range
+        for i, nid in enumerate(self.node_ids):
+            key = (int(self.positions[i, 0] * inv), int(self.positions[i, 1] * inv))
+            self._cells.setdefault(key, []).append(nid)
+
+    # ------------------------------------------------------------------
+    # NeighborProvider interface
+    # ------------------------------------------------------------------
+    def position_of(self, node_id: int) -> Tuple[float, float]:
+        """Current (x, y) of one node."""
+        i = self._index_of[node_id]
+        return float(self.positions[i, 0]), float(self.positions[i, 1])
+
+    def in_range(self, a: int, b: int) -> bool:
+        """Whether two nodes are within communication range."""
+        ia, ib = self._index_of[a], self._index_of[b]
+        dx = self.positions[ia, 0] - self.positions[ib, 0]
+        dy = self.positions[ia, 1] - self.positions[ib, 1]
+        return dx * dx + dy * dy <= self._range_sq
+
+    def neighbors_of(self, node_id: int) -> Iterable[int]:
+        """Ids of all nodes within range (grid-indexed lookup)."""
+        i = self._index_of[node_id]
+        x, y = self.positions[i, 0], self.positions[i, 1]
+        inv = 1.0 / self.comm_range
+        cx, cy = int(x * inv), int(y * inv)
+        result: List[int] = []
+        for gx in (cx - 1, cx, cx + 1):
+            for gy in (cy - 1, cy, cy + 1):
+                for other in self._cells.get((gx, gy), ()):
+                    if other == node_id:
+                        continue
+                    j = self._index_of[other]
+                    dx = self.positions[j, 0] - x
+                    dy = self.positions[j, 1] - y
+                    if dx * dx + dy * dy <= self._range_sq:
+                        result.append(other)
+        return result

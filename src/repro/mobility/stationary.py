@@ -1,0 +1,45 @@
+"""Stationary placement, used for the high-end sink nodes.
+
+The paper deploys sinks "at strategic locations with high visiting
+probability" or scatters them randomly (the default simulation setup
+scatters all nodes).  This model supports both: explicit positions or
+random placement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.mobility.base import Area, MobilityModel
+
+
+class StationaryMobility(MobilityModel):
+    """Nodes that never move."""
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        area: Area,
+        rng: Optional[random.Random] = None,
+        positions: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> None:
+        super().__init__(node_ids, area)
+        if positions is not None:
+            if len(positions) != len(self.node_ids):
+                raise ValueError("one position required per node id")
+            for i, (x, y) in enumerate(positions):
+                if not area.contains(x, y):
+                    raise ValueError(f"position {(x, y)} outside area")
+                self.positions[i] = (x, y)
+        else:
+            if rng is None:
+                raise ValueError("need an rng for random placement")
+            for i in range(len(self.node_ids)):
+                self.positions[i] = area.random_point(rng)
+
+    def step(self, dt: float) -> None:
+        """Advance time; stationary nodes never move."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        # Nothing moves.

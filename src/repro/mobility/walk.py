@@ -1,0 +1,61 @@
+"""Unconstrained random-walk mobility (extension model).
+
+Like the paper's zone model but without zones: nodes pick a random speed
+and heading, travel for an exponentially distributed epoch, and reflect
+off the outer area boundary.  Used to study how much the home-zone
+locality of the paper's model matters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.mobility.base import Area, MobilityModel
+
+
+class RandomWalkMobility(MobilityModel):
+    """Memoryless random walk with reflecting boundaries."""
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        area: Area,
+        rng: random.Random,
+        speed_min: float = 0.0,
+        speed_max: float = 5.0,
+        mean_epoch_s: float = 20.0,
+    ) -> None:
+        super().__init__(node_ids, area)
+        if speed_min < 0 or speed_max < speed_min or mean_epoch_s <= 0:
+            raise ValueError("invalid walk parameters")
+        self._rng = rng
+        self.speed_min = speed_min
+        self.speed_max = speed_max
+        self.mean_epoch_s = mean_epoch_s
+        n = len(self.node_ids)
+        self.velocities = np.zeros((n, 2), dtype=float)
+        self._epoch_left = np.zeros(n, dtype=float)
+        for i in range(n):
+            self.positions[i] = area.random_point(rng)
+            self._new_epoch(i)
+
+    def _new_epoch(self, i: int) -> None:
+        speed = self._rng.uniform(self.speed_min, self.speed_max)
+        heading = self._rng.uniform(0.0, 2.0 * math.pi)
+        self.velocities[i, 0] = speed * math.cos(heading)
+        self.velocities[i, 1] = speed * math.sin(heading)
+        self._epoch_left[i] = self._rng.expovariate(1.0 / self.mean_epoch_s)
+
+    def step(self, dt: float) -> None:
+        """Advance every node by dt, reflecting at the boundary."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.positions += self.velocities * dt
+        self._reflect_into_area(self.positions, self.velocities)
+        self._epoch_left -= dt
+        for i in np.nonzero(self._epoch_left <= 0)[0]:
+            self._new_epoch(int(i))

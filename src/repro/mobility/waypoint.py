@@ -1,0 +1,72 @@
+"""Random-waypoint mobility (extension; not used by the paper's default
+setup but useful for sensitivity studies)."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.mobility.base import Area, MobilityModel
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Classic random waypoint: pick a destination, travel, pause, repeat."""
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        area: Area,
+        rng: random.Random,
+        speed_min: float = 0.5,
+        speed_max: float = 5.0,
+        pause_max: float = 10.0,
+    ) -> None:
+        super().__init__(node_ids, area)
+        if speed_min <= 0:
+            # A zero minimum speed makes the model degenerate (nodes stall
+            # forever at their first waypoint) — the standard RWP caveat.
+            raise ValueError("random waypoint requires speed_min > 0")
+        if speed_max < speed_min or pause_max < 0:
+            raise ValueError("invalid speed/pause parameters")
+        self._rng = rng
+        self.speed_min = speed_min
+        self.speed_max = speed_max
+        self.pause_max = pause_max
+        n = len(self.node_ids)
+        self._targets = np.zeros((n, 2), dtype=float)
+        self._speeds = np.zeros(n, dtype=float)
+        self._pause_left = np.zeros(n, dtype=float)
+        for i in range(n):
+            self.positions[i] = area.random_point(rng)
+            self._pick_waypoint(i)
+
+    def _pick_waypoint(self, i: int) -> None:
+        self._targets[i] = self.area.random_point(self._rng)
+        self._speeds[i] = self._rng.uniform(self.speed_min, self.speed_max)
+
+    def step(self, dt: float) -> None:
+        """Advance every node by dt along its waypoint legs."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        for i in range(len(self.node_ids)):
+            remaining = dt
+            while remaining > 1e-12:
+                if self._pause_left[i] > 0:
+                    used = min(self._pause_left[i], remaining)
+                    self._pause_left[i] -= used
+                    remaining -= used
+                    continue
+                delta = self._targets[i] - self.positions[i]
+                dist = math.hypot(delta[0], delta[1])
+                travel = self._speeds[i] * remaining
+                if travel >= dist:
+                    self.positions[i] = self._targets[i]
+                    remaining -= dist / self._speeds[i] if self._speeds[i] > 0 else remaining
+                    self._pause_left[i] = self._rng.uniform(0.0, self.pause_max)
+                    self._pick_waypoint(i)
+                else:
+                    self.positions[i] += delta / dist * travel
+                    remaining = 0.0

@@ -1,0 +1,136 @@
+"""Simulation configuration.
+
+Defaults reproduce the paper's setup (Sec. 5): 3 sinks + 100 sensors in a
+150 x 150 m^2 area of 25 zones, speeds U(0, 5) m/s with 20 % zone-exit
+probability, 10 m range, 200-message queues, Poisson arrivals every 120 s
+on average, 1000-bit data / 50-bit control frames on a 10 kbps channel,
+Berkeley-mote power, 25 000 s per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Type
+
+from repro.baselines.direct import DirectAgent
+from repro.baselines.epidemic import EpidemicAgent
+from repro.baselines.zbr import ZbrAgent
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import CrossLayerAgent, MacAgent
+
+
+def _protocol_table() -> Dict[str, Tuple[Type[MacAgent], ProtocolParameters]]:
+    return {
+        "opt": (CrossLayerAgent, ProtocolParameters.opt()),
+        "noopt": (CrossLayerAgent, ProtocolParameters.noopt()),
+        "nosleep": (CrossLayerAgent, ProtocolParameters.nosleep()),
+        "zbr": (ZbrAgent, ProtocolParameters.opt()),
+        "direct": (DirectAgent, ProtocolParameters.opt()),
+        "epidemic": (EpidemicAgent, ProtocolParameters.opt()),
+    }
+
+
+#: Protocol name -> (agent class, default parameter preset).
+PROTOCOLS: Dict[str, Tuple[Type[MacAgent], ProtocolParameters]] = _protocol_table()
+
+#: Baselines without a fault-tolerance notion keep an (effectively) FIFO
+#: queue: FTD-threshold dropping is disabled for them.
+_FIFO_PROTOCOLS = frozenset({"zbr", "direct", "epidemic"})
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to build and run one simulation."""
+
+    protocol: str = "opt"
+    seed: int = 1
+    duration_s: float = 25_000.0
+
+    # --- topology (Sec. 5 defaults) ---------------------------------------
+    n_sensors: int = 100
+    n_sinks: int = 3
+    area_m: float = 150.0
+    zones_per_side: int = 5
+    comm_range_m: float = 10.0
+    sink_placement: str = "random"  # "random" | "grid"
+    # Sec. 1: sinks are "either deployed at strategic locations ... or
+    # carried by a subset of people".  "mobile" gives sinks the same
+    # zone mobility as the sensors.
+    sink_mobility: str = "static"  # "static" | "mobile"
+
+    # --- mobility -----------------------------------------------------------
+    mobility_model: str = "zone"  # "zone" | "walk" | "waypoint" | "levy"
+    speed_min_mps: float = 0.0
+    speed_max_mps: float = 5.0
+    exit_probability: float = 0.2
+    mobility_tick_s: float = 1.0
+
+    # --- traffic / channel ----------------------------------------------------
+    mean_arrival_s: float = 120.0
+    message_bits: int = 1000
+    control_bits: int = 50
+    bandwidth_bps: float = 10_000.0
+    queue_capacity: int = 200
+
+    # --- protocol parameters (None -> preset for ``protocol``) -----------------
+    params: Optional[ProtocolParameters] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {sorted(PROTOCOLS)}"
+            )
+        if self.mobility_model not in ("zone", "walk", "waypoint", "levy"):
+            raise ValueError(f"unknown mobility model {self.mobility_model!r}")
+        if self.sink_placement not in ("random", "grid"):
+            raise ValueError(f"unknown sink placement {self.sink_placement!r}")
+        if self.sink_mobility not in ("static", "mobile"):
+            raise ValueError(f"unknown sink mobility {self.sink_mobility!r}")
+        if self.n_sensors < 1 or self.n_sinks < 1:
+            raise ValueError("need at least one sensor and one sink")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.comm_range_m <= 0 or self.area_m <= 0:
+            raise ValueError("geometry must be positive")
+        if self.speed_min_mps < 0 or self.speed_max_mps < self.speed_min_mps:
+            raise ValueError("invalid speed range")
+        if self.mean_arrival_s <= 0:
+            raise ValueError("mean arrival interval must be positive")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+
+    # ------------------------------------------------------------------
+    # derived pieces
+    # ------------------------------------------------------------------
+    @property
+    def agent_class(self) -> Type[MacAgent]:
+        """Protocol agent class for this configuration."""
+        return PROTOCOLS[self.protocol][0]
+
+    def effective_params(self) -> ProtocolParameters:
+        """The protocol parameters for this run (preset unless overridden)."""
+        params = self.params
+        if params is None:
+            params = PROTOCOLS[self.protocol][1]
+        return replace(params, queue_capacity=self.queue_capacity)
+
+    def queue_drop_threshold(self) -> float:
+        """FTD-threshold dropping only applies to the cross-layer protocol."""
+        if self.protocol in _FIFO_PROTOCOLS:
+            return 1.0
+        return self.effective_params().ftd_drop_threshold
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """A copy of this configuration with a different seed."""
+        return replace(self, seed=seed)
+
+    @property
+    def sink_ids(self) -> range:
+        """Node ids assigned to sinks (0..n_sinks-1)."""
+        return range(self.n_sinks)
+
+    @property
+    def sensor_ids(self) -> range:
+        """Node ids assigned to sensors."""
+        return range(self.n_sinks, self.n_sinks + self.n_sensors)

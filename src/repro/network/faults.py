@@ -1,0 +1,91 @@
+"""Fault injection: permanent sensor failures during a run.
+
+DFT-MSN's fault tolerance is about *message* survival: wearable sensors
+die (battery, damage, owner leaves) and every message copy they carry is
+lost.  The FTD redundancy (Sec. 3.1.2) exists precisely so that a
+message survives its carriers' deaths.  The injector schedules permanent
+node failures; experiments compare delivery with and without redundancy
+under increasing failure rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic list of (time, sensor node id) failures."""
+
+    failures: Tuple[Tuple[float, int], ...]
+
+    @classmethod
+    def random_deaths(
+        cls,
+        sim: "Simulation",
+        death_fraction: float,
+        rng: Optional[random.Random] = None,
+        start_s: float = 0.0,
+        end_s: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Kill a random fraction of sensors at uniform random times.
+
+        ``death_fraction`` of the sensors die at times uniform in
+        ``[start_s, end_s]`` (defaults to the whole run).
+        """
+        if not 0.0 <= death_fraction <= 1.0:
+            raise ValueError("death fraction must be in [0, 1]")
+        rng = rng or sim.streams.stream("faults")
+        end = sim.config.duration_s if end_s is None else end_s
+        if end <= start_s:
+            raise ValueError("end must come after start")
+        sensors = [node.node_id for node in sim.sensors]
+        n_deaths = round(death_fraction * len(sensors))
+        victims = rng.sample(sensors, n_deaths)
+        failures = tuple(sorted(
+            (rng.uniform(start_s, end), victim) for victim in victims
+        ))
+        return cls(failures)
+
+
+class FaultInjector:
+    """Schedules permanent failures on a built simulation."""
+
+    def __init__(self, sim: "Simulation", plan: FaultPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.killed: List[int] = []
+        self._armed = False
+        sensor_ids = {node.node_id for node in sim.sensors}
+        for when, node_id in plan.failures:
+            if node_id not in sensor_ids:
+                raise ValueError(f"node {node_id} is not a sensor")
+            if not 0.0 <= when <= sim.config.duration_s:
+                raise ValueError(f"failure time {when} outside the run")
+
+    def arm(self) -> None:
+        """Schedule the failures (call before ``sim.run()``)."""
+        if self._armed:
+            return
+        self._armed = True
+        for when, node_id in self.plan.failures:
+            self.sim.scheduler.schedule_at(when, self._kill, node_id)
+
+    def _kill(self, node_id: int) -> None:
+        for node in self.sim.sensors:
+            if node.node_id == node_id:
+                if node.traffic is not None:
+                    node.traffic.stop()
+                node.agent.fail()
+                self.killed.append(node_id)
+                return
+
+    @property
+    def deaths(self) -> int:
+        """Number of failures executed so far."""
+        return len(self.killed)

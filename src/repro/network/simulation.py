@@ -1,0 +1,273 @@
+"""Top-level simulation: build the network from a config, run, report.
+
+One :class:`Simulation` instance owns a full stack — scheduler, mobility,
+medium, nodes — for one run.  :meth:`Simulation.run` drives the event
+loop to the configured duration and returns a :class:`SimulationResult`
+with the paper's headline metrics plus detailed channel/protocol/queue
+counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.protocol import AgentStats, SinkAgent
+from repro.core.queue import FtdQueue
+from repro.des.rng import RandomStreams
+from repro.des.scheduler import EventScheduler
+from repro.energy.model import BERKELEY_MOTE
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.base import Area
+from repro.mobility.levy import LevyWalkMobility
+from repro.mobility.manager import MobilityManager
+from repro.mobility.stationary import StationaryMobility
+from repro.mobility.walk import RandomWalkMobility
+from repro.mobility.waypoint import RandomWaypointMobility
+from repro.mobility.zone import ZoneGridMobility
+from repro.network.config import SimulationConfig
+from repro.network.node import SensorNode, SinkNode
+from repro.radio.medium import WirelessMedium
+from repro.radio.timing import ChannelTiming
+from repro.radio.transceiver import Transceiver
+from repro.traffic.generators import PoissonTraffic
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run."""
+
+    config: SimulationConfig
+    duration_s: float
+    messages_generated: int
+    messages_delivered: int
+    delivery_ratio: float
+    average_delay_s: Optional[float]
+    average_hops: Optional[float]
+    average_power_mw: float
+    per_node_power_mw: List[float]
+    transmissions: int
+    frames_corrupted: int
+    bits_sent: int
+    queue_drops_overflow: int
+    queue_drops_threshold: int
+    agent_totals: Dict[str, int]
+    events_fired: int
+    wall_clock_s: float
+
+    def transmissions_per_delivery(self) -> Optional[float]:
+        """Transmission overhead: channel uses per delivered message."""
+        if self.messages_delivered == 0:
+            return None
+        return self.transmissions / self.messages_delivered
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data view of the result (for JSON export)."""
+        return {
+            "protocol": self.config.protocol,
+            "seed": self.config.seed,
+            "n_sinks": self.config.n_sinks,
+            "n_sensors": self.config.n_sensors,
+            "duration_s": self.duration_s,
+            "generated": self.messages_generated,
+            "delivered": self.messages_delivered,
+            "delivery_ratio": self.delivery_ratio,
+            "average_delay_s": self.average_delay_s,
+            "average_hops": self.average_hops,
+            "average_power_mw": self.average_power_mw,
+            "transmissions": self.transmissions,
+            "frames_corrupted": self.frames_corrupted,
+            "queue_drops_overflow": self.queue_drops_overflow,
+            "queue_drops_threshold": self.queue_drops_threshold,
+            "events_fired": self.events_fired,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+class Simulation:
+    """Builds and runs one DFT-MSN simulation."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.scheduler = EventScheduler()
+        self.streams = RandomStreams(config.seed)
+        self.collector = MetricsCollector()
+        self.params = config.effective_params()
+        self.timing = ChannelTiming(
+            bandwidth_bps=config.bandwidth_bps,
+            control_bits=config.control_bits,
+            data_bits=config.message_bits,
+        )
+        self.area = Area(config.area_m, config.area_m)
+
+        self.mobility = self._build_mobility()
+        self.medium = WirelessMedium(self.scheduler, self.timing, self.mobility)
+        self.sinks: List[SinkNode] = []
+        self.sensors: List[SensorNode] = []
+        self._build_sinks()
+        self._build_sensors()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_mobility(self) -> MobilityManager:
+        cfg = self.config
+        sink_rng = self.streams.stream("sink-placement")
+        if cfg.sink_mobility == "mobile":
+            # Sinks carried by people: same zone mobility as sensors.
+            sink_model = ZoneGridMobility(
+                list(cfg.sink_ids), self.area, sink_rng,
+                zones_per_side=cfg.zones_per_side,
+                speed_min=cfg.speed_min_mps, speed_max=cfg.speed_max_mps,
+                exit_probability=cfg.exit_probability,
+            )
+        elif cfg.sink_placement == "grid":
+            positions = self._grid_positions(cfg.n_sinks)
+            sink_model = StationaryMobility(list(cfg.sink_ids), self.area,
+                                            positions=positions)
+        else:
+            sink_model = StationaryMobility(list(cfg.sink_ids), self.area,
+                                            rng=sink_rng)
+        sensor_rng = self.streams.stream("mobility")
+        sensor_ids = list(cfg.sensor_ids)
+        if cfg.mobility_model == "zone":
+            sensor_model = ZoneGridMobility(
+                sensor_ids, self.area, sensor_rng,
+                zones_per_side=cfg.zones_per_side,
+                speed_min=cfg.speed_min_mps, speed_max=cfg.speed_max_mps,
+                exit_probability=cfg.exit_probability,
+            )
+        elif cfg.mobility_model == "walk":
+            sensor_model = RandomWalkMobility(
+                sensor_ids, self.area, sensor_rng,
+                speed_min=cfg.speed_min_mps, speed_max=cfg.speed_max_mps,
+            )
+        elif cfg.mobility_model == "levy":
+            sensor_model = LevyWalkMobility(
+                sensor_ids, self.area, sensor_rng,
+                speed_min=max(0.1, cfg.speed_min_mps),
+                speed_max=max(0.2, cfg.speed_max_mps),
+                step_max_m=cfg.area_m,
+            )
+        else:
+            sensor_model = RandomWaypointMobility(
+                sensor_ids, self.area, sensor_rng,
+                speed_min=max(0.1, cfg.speed_min_mps),
+                speed_max=max(0.2, cfg.speed_max_mps),
+            )
+        return MobilityManager(
+            self.scheduler, self.area, [sink_model, sensor_model],
+            comm_range=cfg.comm_range_m, tick_s=cfg.mobility_tick_s,
+        )
+
+    def _grid_positions(self, n: int) -> List[tuple]:
+        """Evenly spread sink positions ("strategic locations")."""
+        import math
+
+        cols = math.ceil(math.sqrt(n))
+        rows = math.ceil(n / cols)
+        positions = []
+        for k in range(n):
+            r, c = divmod(k, cols)
+            x = (c + 0.5) * self.area.width / cols
+            y = (r + 0.5) * self.area.height / rows
+            positions.append((x, y))
+        return positions
+
+    def _build_sinks(self) -> None:
+        for nid in self.config.sink_ids:
+            radio = Transceiver(nid, self.medium, self.scheduler, BERKELEY_MOTE)
+            queue = FtdQueue(self.config.queue_capacity, drop_threshold=1.0)
+            agent = SinkAgent(
+                nid, radio, self.scheduler, self.params,
+                self.streams.stream(f"mac:{nid}"), queue,
+                collector=self.collector,
+            )
+            self.sinks.append(SinkNode(nid, agent, radio))
+
+    def _build_sensors(self) -> None:
+        cfg = self.config
+        agent_cls = cfg.agent_class
+        for nid in cfg.sensor_ids:
+            radio = Transceiver(nid, self.medium, self.scheduler, BERKELEY_MOTE)
+            queue = FtdQueue(cfg.queue_capacity,
+                             drop_threshold=cfg.queue_drop_threshold())
+            agent = agent_cls(
+                nid, radio, self.scheduler, self.params,
+                self.streams.stream(f"mac:{nid}"), queue,
+                collector=self.collector,
+            )
+            node = SensorNode(
+                nid, agent, radio, queue, self.scheduler, self.collector,
+                message_bits=cfg.message_bits,
+            )
+            node.traffic = PoissonTraffic(
+                self.scheduler, node.on_sense,
+                self.streams.stream(f"traffic:{nid}"),
+                mean_interval_s=cfg.mean_arrival_s,
+                stop_time=cfg.duration_s,
+            )
+            self.sensors.append(node)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run the event loop to the configured duration and collect results."""
+        started = time.perf_counter()
+        self.mobility.start()
+        for sink in self.sinks:
+            sink.start()
+        for sensor in self.sensors:
+            sensor.start()
+
+        self.scheduler.run_until(self.config.duration_s)
+
+        for sink in self.sinks:
+            sink.finalize()
+        for sensor in self.sensors:
+            sensor.finalize()
+        wall = time.perf_counter() - started
+        return self._collect_result(wall)
+
+    def _collect_result(self, wall_clock_s: float) -> SimulationResult:
+        duration = self.config.duration_s
+        per_node_power = [
+            s.radio.meter.consumed_mj / duration for s in self.sensors
+        ]  # mJ / s == mW
+        avg_power = sum(per_node_power) / len(per_node_power)
+
+        totals: Dict[str, int] = {}
+        for sensor in self.sensors:
+            stats: AgentStats = sensor.agent.stats
+            for name, value in vars(stats).items():
+                totals[name] = totals.get(name, 0) + value
+
+        drops_overflow = sum(s.queue.stats.drops_overflow for s in self.sensors)
+        drops_threshold = sum(s.queue.stats.drops_threshold for s in self.sensors)
+
+        return SimulationResult(
+            config=self.config,
+            duration_s=duration,
+            messages_generated=self.collector.messages_generated,
+            messages_delivered=self.collector.messages_delivered,
+            delivery_ratio=self.collector.delivery_ratio(),
+            average_delay_s=self.collector.average_delay(),
+            average_hops=self.collector.average_hops(),
+            average_power_mw=avg_power,
+            per_node_power_mw=per_node_power,
+            transmissions=self.medium.stats.transmissions,
+            frames_corrupted=self.medium.stats.frames_corrupted,
+            bits_sent=self.medium.stats.bits_sent,
+            queue_drops_overflow=drops_overflow,
+            queue_drops_threshold=drops_threshold,
+            agent_totals=totals,
+            events_fired=self.scheduler.events_fired,
+            wall_clock_s=wall_clock_s,
+        )
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Convenience one-shot: build and run a simulation."""
+    return Simulation(config).run()

@@ -1,0 +1,40 @@
+"""Radio substrate: frames, channel timing, the shared wireless medium and
+per-node transceivers.
+
+The model follows the paper's evaluation setup (Sec. 5): a 10 kbps shared
+broadcast channel, 10 m disc propagation, 50-bit control frames and
+1000-bit data frames.  Collisions are frame-level: any two transmissions
+that overlap in time at a listening receiver corrupt each other there (no
+capture effect).
+"""
+
+from repro.radio.states import RadioState
+from repro.radio.timing import ChannelTiming
+from repro.radio.frames import (
+    Frame,
+    FrameKind,
+    Preamble,
+    Rts,
+    Cts,
+    Schedule,
+    DataFrame,
+    Ack,
+)
+from repro.radio.medium import WirelessMedium, MediumStats
+from repro.radio.transceiver import Transceiver
+
+__all__ = [
+    "RadioState",
+    "ChannelTiming",
+    "Frame",
+    "FrameKind",
+    "Preamble",
+    "Rts",
+    "Cts",
+    "Schedule",
+    "DataFrame",
+    "Ack",
+    "WirelessMedium",
+    "MediumStats",
+    "Transceiver",
+]

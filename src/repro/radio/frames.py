@@ -1,0 +1,175 @@
+"""MAC frame types exchanged by the cross-layer protocol.
+
+Frame flow of one working cycle (Fig. 1 of the paper)::
+
+    sender:    PREAMBLE  RTS ..... [listen W slots] SCHEDULE DATA [wait ACKs]
+    receiver:            ... CTS@random-slot ......          ... ACK@k*t_ack
+
+All frames are broadcast on the shared medium; ``dst`` (when set) marks
+the intended consumer, but any in-range listening radio observes the frame
+(used e.g. for NAV updates).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+class FrameKind(enum.Enum):
+    """Discriminator for the six frame types of the protocol."""
+
+    PREAMBLE = "preamble"
+    RTS = "rts"
+    CTS = "cts"
+    SCHEDULE = "schedule"
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Base class for all frames.
+
+    ``src`` is the transmitting node id; ``dst`` is ``None`` for frames
+    addressed to everyone in range (preamble, RTS, schedule, data).
+    """
+
+    src: int
+    dst: Optional[int] = None
+
+    @property
+    def kind(self) -> FrameKind:
+        """Frame-type discriminator."""
+        raise NotImplementedError
+
+    def size_bits(self, control_bits: int) -> int:
+        """Frame size; control frames default to the configured size."""
+        return control_bits
+
+
+@dataclass(frozen=True)
+class Preamble(Frame):
+    """Channel-grab / wake-up announcement preceding an RTS (Sec. 3.2.1).
+
+    With low-power listening enabled the preamble is stretched to
+    ``duration_bits`` so that it spans the sleepers' channel-sampling
+    interval (see :class:`repro.core.params.ProtocolParameters`); a zero
+    ``duration_bits`` falls back to an ordinary control frame.
+    """
+
+    duration_bits: int = 0
+
+    @property
+    def kind(self) -> FrameKind:
+        """Frame-type discriminator."""
+        return FrameKind.PREAMBLE
+
+    def size_bits(self, control_bits: int) -> int:
+        """On-air size of this frame in bits."""
+        return max(control_bits, self.duration_bits)
+
+
+@dataclass(frozen=True)
+class Rts(Frame):
+    """Request-to-send.
+
+    Unlike 802.11, the DFT-MSN RTS carries the sender's delivery
+    probability ``xi``, the FTD of the message it wants to forward, and
+    the contention-window length ``window_slots`` during which qualified
+    receivers may answer.  ``message_id`` lets receivers that already
+    hold the message stay silent: a duplicate transfer adds no
+    redundancy, yet would still inflate the sender's Eq. 3 FTD — the
+    "suicide by repetition" failure mode (see DESIGN.md).
+    """
+
+    xi: float = 0.0
+    ftd: float = 0.0
+    window_slots: int = 1
+    message_id: int = -1
+
+    @property
+    def kind(self) -> FrameKind:
+        """Frame-type discriminator."""
+        return FrameKind.RTS
+
+
+@dataclass(frozen=True)
+class Cts(Frame):
+    """Clear-to-send from one qualified receiver.
+
+    Carries the receiver's delivery probability and its available buffer
+    space for messages at the RTS's FTD (Sec. 3.2.1).
+    """
+
+    xi: float = 0.0
+    buffer_slots: int = 0
+    is_sink: bool = False
+
+    @property
+    def kind(self) -> FrameKind:
+        """Frame-type discriminator."""
+        return FrameKind.CTS
+
+
+@dataclass(frozen=True)
+class Schedule(Frame):
+    """Receiver list for the synchronous phase.
+
+    ``assignments`` maps receiver id -> FTD of the copy that receiver
+    will hold (computed with Eq. (2)); the ordering of
+    ``receiver_order`` fixes each receiver's ACK slot.
+    """
+
+    receiver_order: Tuple[int, ...] = ()
+    assignments: Dict[int, float] = field(default_factory=dict)
+    message_id: int = -1
+
+    @property
+    def kind(self) -> FrameKind:
+        """Frame-type discriminator."""
+        return FrameKind.SCHEDULE
+
+    def size_bits(self, control_bits: int) -> int:
+        """On-air size of this frame in bits."""
+        return control_bits + 32 * len(self.receiver_order)
+
+    def ack_slot_of(self, node_id: int) -> int:
+        """1-based ACK slot of ``node_id`` (Sec. 3.2.2)."""
+        return self.receiver_order.index(node_id) + 1
+
+
+@dataclass(frozen=True)
+class DataFrame(Frame):
+    """The multicast data message payload.
+
+    ``payload`` is the immutable application message (see
+    :class:`repro.core.message.DataMessage`); receivers attach the FTD
+    assigned to them in the preceding SCHEDULE.
+    """
+
+    payload: Any = None
+    message_id: int = -1
+    payload_bits: int = 1000
+
+    @property
+    def kind(self) -> FrameKind:
+        """Frame-type discriminator."""
+        return FrameKind.DATA
+
+    def size_bits(self, control_bits: int) -> int:
+        """On-air size of this frame in bits."""
+        return self.payload_bits
+
+
+@dataclass(frozen=True)
+class Ack(Frame):
+    """Per-receiver acknowledgement sent in the receiver's ACK slot."""
+
+    message_id: int = -1
+
+    @property
+    def kind(self) -> FrameKind:
+        """Frame-type discriminator."""
+        return FrameKind.ACK

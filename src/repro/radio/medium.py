@@ -1,0 +1,174 @@
+"""The shared wireless medium.
+
+Implements broadcast propagation over a disc of radius ``comm_range`` with
+frame-level collisions: any two transmissions that overlap in time at a
+receiver that could hear both corrupt each other *at that receiver* (no
+capture effect).  Carrier sense is physical: a node senses the channel
+busy whenever any active transmission originates within its range.
+
+Node positions are owned by the mobility substrate; the medium talks to it
+through the small :class:`NeighborProvider` interface so that it stays
+independent of any particular mobility model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Protocol, Set
+
+from repro.des.scheduler import EventScheduler
+from repro.radio.frames import Frame, FrameKind
+from repro.radio.timing import ChannelTiming
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.transceiver import Transceiver
+
+
+class NeighborProvider(Protocol):
+    """Spatial queries the medium needs, implemented by the mobility layer."""
+
+    def neighbors_of(self, node_id: int) -> Iterable[int]:
+        """Ids of all nodes currently within communication range."""
+        ...
+
+    def in_range(self, a: int, b: int) -> bool:
+        """Whether nodes ``a`` and ``b`` are currently within range."""
+        ...
+
+
+@dataclass
+class MediumStats:
+    """Channel-level counters collected by the medium."""
+
+    transmissions: int = 0
+    frames_delivered: int = 0
+    frames_corrupted: int = 0
+    bits_sent: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.transmissions = 0
+        self.frames_delivered = 0
+        self.frames_corrupted = 0
+        self.bits_sent = 0
+
+
+class _Transmission:
+    """Bookkeeping for one in-flight frame."""
+
+    __slots__ = ("frame", "src", "end", "audience", "corrupted")
+
+    def __init__(self, frame: Frame, src: int, end: float) -> None:
+        self.frame = frame
+        self.src = src
+        self.end = end
+        self.audience: Set[int] = set()
+        self.corrupted: Set[int] = set()
+
+
+class WirelessMedium:
+    """Shared broadcast channel connecting all transceivers."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        timing: ChannelTiming,
+        neighbors: NeighborProvider,
+    ) -> None:
+        self._scheduler = scheduler
+        self.timing = timing
+        self._neighbors = neighbors
+        self._radios: Dict[int, "Transceiver"] = {}
+        self._active: List[_Transmission] = []
+        self.stats = MediumStats()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def attach(self, radio: "Transceiver") -> None:
+        """Register a transceiver on the channel."""
+        if radio.node_id in self._radios:
+            raise ValueError(f"node {radio.node_id} already attached")
+        self._radios[radio.node_id] = radio
+
+    def radio_of(self, node_id: int) -> "Transceiver":
+        """The transceiver attached for a node id."""
+        return self._radios[node_id]
+
+    # ------------------------------------------------------------------
+    # carrier sense
+    # ------------------------------------------------------------------
+    def channel_busy(self, node_id: int) -> bool:
+        """Physical carrier sense at ``node_id``.
+
+        True when any in-flight transmission originates within range
+        (regardless of whether this node can decode it).
+        """
+        return any(
+            tx.src != node_id and self._neighbors.in_range(tx.src, node_id)
+            for tx in self._active
+        )
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def begin_transmission(self, radio: "Transceiver", frame: Frame) -> float:
+        """Start broadcasting ``frame`` from ``radio``; returns airtime (s).
+
+        The audience (receivers able to decode) is fixed at transmission
+        start: in range, awake and not themselves transmitting.  Nodes
+        joining mid-frame (e.g. waking up) cannot decode it, which matches
+        preamble-synchronized radios.
+        """
+        size = frame.size_bits(self.timing.control_bits)
+        duration = self.timing.airtime_s(size)
+        now = self._scheduler.now
+        tx = _Transmission(frame, radio.node_id, now + duration)
+
+        wakes_sleepers = frame.kind is FrameKind.PREAMBLE
+        for other_id in self._neighbors.neighbors_of(radio.node_id):
+            other = self._radios.get(other_id)
+            if other is None or other_id == radio.node_id:
+                continue
+            if not other.state.can_receive:
+                # Low-power listening: a sleeping radio whose next channel
+                # sample lands inside this preamble detects it and wakes
+                # (in time for the RTS that follows the preamble).
+                if wakes_sleepers:
+                    sample_at = other.lpl_next_sample_at(now)
+                    if sample_at is not None and sample_at < tx.end:
+                        self._scheduler.schedule_at(sample_at, other.lpl_wake)
+                continue
+            # Interference from every other in-flight transmission audible
+            # at this receiver corrupts both frames there.
+            interferers = [
+                t
+                for t in self._active
+                if t.src != radio.node_id
+                and (other_id in t.audience or self._neighbors.in_range(t.src, other_id))
+            ]
+            if interferers:
+                tx.corrupted.add(other_id)
+                for t in interferers:
+                    if other_id in t.audience:
+                        t.corrupted.add(other_id)
+            tx.audience.add(other_id)
+
+        self._active.append(tx)
+        self.stats.transmissions += 1
+        self.stats.bits_sent += size
+        self._scheduler.schedule(duration, self._end_transmission, tx)
+        return duration
+
+    def _end_transmission(self, tx: _Transmission) -> None:
+        self._active.remove(tx)
+        for node_id in tx.audience:
+            radio = self._radios[node_id]
+            if node_id in tx.corrupted:
+                self.stats.frames_corrupted += 1
+                radio.notify_collision(tx.frame)
+            elif radio.state.can_receive:
+                self.stats.frames_delivered += 1
+                radio.deliver(tx.frame)
+            # else: the receiver went to sleep / started transmitting
+            # mid-frame and simply misses it.

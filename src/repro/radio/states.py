@@ -1,0 +1,31 @@
+"""Radio transceiver states.
+
+The paper (Sec. 4.1) models four states — transmitting, receiving,
+listening and sleeping — each with its own power level.  In this
+simulator idle listening and active reception share a state for energy
+purposes (the paper assigns them equal power); ``RECEIVING`` is kept as a
+distinct value for components that want to expose it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RadioState(enum.Enum):
+    """State of a radio transceiver."""
+
+    TRANSMITTING = "transmitting"
+    RECEIVING = "receiving"
+    LISTENING = "listening"
+    SLEEPING = "sleeping"
+
+    @property
+    def awake(self) -> bool:
+        """``True`` unless the radio is sleeping."""
+        return self is not RadioState.SLEEPING
+
+    @property
+    def can_receive(self) -> bool:
+        """``True`` when an incoming frame can be decoded (half-duplex)."""
+        return self in (RadioState.LISTENING, RadioState.RECEIVING)

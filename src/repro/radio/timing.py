@@ -1,0 +1,79 @@
+"""Channel timing: frame airtimes and slot durations.
+
+All MAC-level durations derive from the channel bandwidth and the frame
+sizes given in the paper's evaluation (Sec. 5): 10 kbps, 50-bit control
+packets, 1000-bit data messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChannelTiming:
+    """Derived timing constants for the shared channel.
+
+    ``processing_s`` is the per-frame turnaround allowance (decode +
+    schedule the reply); the paper defines a CTS slot as "the time to
+    transmit a CTS packet by the receiver, plus the time for the sender
+    to process the CTS packet" (Sec. 4.3).
+    """
+
+    bandwidth_bps: float = 10_000.0
+    control_bits: int = 50
+    data_bits: int = 1000
+    processing_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.control_bits <= 0 or self.data_bits <= 0:
+            raise ValueError("frame sizes must be positive")
+        if self.processing_s < 0:
+            raise ValueError("processing time cannot be negative")
+
+    # ------------------------------------------------------------------
+    # airtimes
+    # ------------------------------------------------------------------
+    @property
+    def control_airtime_s(self) -> float:
+        """Time on air of one control frame (preamble/RTS/CTS/ACK)."""
+        return self.control_bits / self.bandwidth_bps
+
+    @property
+    def data_airtime_s(self) -> float:
+        """Time on air of one data frame."""
+        return self.data_bits / self.bandwidth_bps
+
+    def airtime_s(self, size_bits: int) -> float:
+        """Time on air of an arbitrary frame of ``size_bits``."""
+        return size_bits / self.bandwidth_bps
+
+    # ------------------------------------------------------------------
+    # slots
+    # ------------------------------------------------------------------
+    @property
+    def listen_slot_s(self) -> float:
+        """One carrier-sense listen slot (Sec. 4.2), sized so a preamble
+        started in an earlier slot is observable."""
+        return self.control_airtime_s + self.processing_s
+
+    @property
+    def cts_slot_s(self) -> float:
+        """One CTS contention slot (Sec. 4.3)."""
+        return self.control_airtime_s + self.processing_s
+
+    @property
+    def t_ack_s(self) -> float:
+        """The per-receiver ACK slot ``t_ack`` (Sec. 3.2.2)."""
+        return self.control_airtime_s + self.processing_s
+
+    def schedule_bits(self, n_receivers: int) -> int:
+        """Size of a SCHEDULE frame listing ``n_receivers`` entries.
+
+        The paper's SCHEDULE carries receiver IDs plus per-copy FTDs; we
+        size it as one control frame plus 16 bits (id) + 16 bits
+        (quantized FTD) per listed receiver.
+        """
+        return self.control_bits + 32 * max(0, n_receivers)

@@ -1,0 +1,20 @@
+"""Event tracing: structured records of protocol activity.
+
+A :class:`~repro.trace.recorder.TraceRecorder` hooks the radios of a
+built simulation and records frame-level events (who sent what, who
+decoded it, collisions) plus agent transactions, with bounded memory.
+Reports summarize a message's journey ("message 17: origin 42 ->
+relay 61 -> sink 1, 2 hops, 512 s"), per-node activity, and channel
+occupancy — the debugging views a protocol implementer actually uses.
+"""
+
+from repro.trace.recorder import TraceRecorder, TraceEvent
+from repro.trace.reports import message_journey, node_activity, channel_usage
+
+__all__ = [
+    "TraceRecorder",
+    "TraceEvent",
+    "message_journey",
+    "node_activity",
+    "channel_usage",
+]

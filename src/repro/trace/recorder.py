@@ -1,0 +1,133 @@
+"""Trace recording: frame-level event capture with bounded memory."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.radio.frames import DataFrame, Frame, FrameKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` values: ``tx`` (frame sent), ``rx`` (frame decoded),
+    ``col`` (frame corrupted at a receiver).
+    """
+
+    time: float
+    kind: str
+    node: int
+    frame_kind: str
+    src: int
+    dst: Optional[int]
+    message_id: Optional[int] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dst = "*" if self.dst is None else str(self.dst)
+        mid = "" if self.message_id is None else f" msg={self.message_id}"
+        return (f"{self.time:10.3f}  {self.kind:<3} node={self.node:<4} "
+                f"{self.frame_kind:<9} {self.src}->{dst}{mid}")
+
+
+def _message_id_of(frame: Frame) -> Optional[int]:
+    if isinstance(frame, DataFrame):
+        return frame.message_id
+    return getattr(frame, "message_id", None)
+
+
+class TraceRecorder:
+    """Hooks every radio of a simulation and records frame events.
+
+    ``max_events`` bounds memory: older events are discarded first (the
+    recorder is a flight recorder, not an archive).  Filters: pass
+    ``frame_kinds`` to record only some frame types (e.g. only DATA).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        max_events: int = 100_000,
+        frame_kinds: Optional[Iterable[FrameKind]] = None,
+    ) -> None:
+        if max_events < 1:
+            raise ValueError("need room for at least one event")
+        self.sim = sim
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self._kinds = frozenset(frame_kinds) if frame_kinds else None
+        self._installed = False
+
+    def install(self) -> None:
+        """Wrap the radios' callbacks (call before ``sim.run()``)."""
+        if self._installed:
+            return
+        self._installed = True
+        nodes = list(self.sim.sensors) + list(self.sim.sinks)
+        for node in nodes:
+            self._wrap_radio(node.radio)
+
+    def _accepts(self, frame: Frame) -> bool:
+        return self._kinds is None or frame.kind in self._kinds
+
+    def _wrap_radio(self, radio) -> None:
+        recorder = self
+        sched = self.sim.scheduler
+
+        original_transmit = radio.transmit
+
+        def traced_transmit(frame, on_done=None):
+            """Wrapped transmit that records a tx event."""
+            if recorder._accepts(frame):
+                recorder.events.append(TraceEvent(
+                    sched.now, "tx", radio.node_id, frame.kind.value,
+                    frame.src, frame.dst, _message_id_of(frame)))
+            return original_transmit(frame, on_done)
+
+        radio.transmit = traced_transmit
+
+        original_deliver = radio.deliver
+
+        def traced_deliver(frame):
+            """Wrapped deliver that records an rx event."""
+            if recorder._accepts(frame):
+                recorder.events.append(TraceEvent(
+                    sched.now, "rx", radio.node_id, frame.kind.value,
+                    frame.src, frame.dst, _message_id_of(frame)))
+            original_deliver(frame)
+
+        radio.deliver = traced_deliver
+
+        original_collision = radio.notify_collision
+
+        def traced_collision(frame):
+            """Wrapped collision callback that records a col event."""
+            if recorder._accepts(frame):
+                recorder.events.append(TraceEvent(
+                    sched.now, "col", radio.node_id, frame.kind.value,
+                    frame.src, frame.dst, _message_id_of(frame)))
+            original_collision(frame)
+
+        radio.notify_collision = traced_collision
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Events of one kind ('tx' / 'rx' / 'col')."""
+        return [e for e in self.events if e.kind == kind]
+
+    def for_message(self, message_id: int) -> List[TraceEvent]:
+        """Events carrying a given message id."""
+        return [e for e in self.events if e.message_id == message_id]
+
+    def for_node(self, node_id: int) -> List[TraceEvent]:
+        """Events observed at a given node."""
+        return [e for e in self.events if e.node == node_id]
+
+    def __len__(self) -> int:
+        return len(self.events)

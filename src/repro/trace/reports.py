@@ -1,0 +1,56 @@
+"""Human-readable reports over recorded traces."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.trace.recorder import TraceEvent, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.simulation import Simulation
+
+
+def message_journey(recorder: TraceRecorder, message_id: int) -> str:
+    """The hop-by-hop story of one message's DATA transfers."""
+    events = [e for e in recorder.for_message(message_id)
+              if e.frame_kind == "data"]
+    if not events:
+        return f"message {message_id}: no recorded DATA activity"
+    lines = [f"message {message_id}:"]
+    for e in events:
+        if e.kind == "tx":
+            lines.append(f"  {e.time:9.2f}s  node {e.src} multicasts")
+        elif e.kind == "rx":
+            lines.append(f"  {e.time:9.2f}s  node {e.node} receives "
+                         f"(from {e.src})")
+        else:
+            lines.append(f"  {e.time:9.2f}s  corrupted at node {e.node}")
+    return "\n".join(lines)
+
+
+def node_activity(recorder: TraceRecorder, top: int = 10) -> str:
+    """Busiest transmitters / receivers (frame counts by node)."""
+    tx = Counter(e.node for e in recorder.of_kind("tx"))
+    rx = Counter(e.node for e in recorder.of_kind("rx"))
+    lines = ["busiest transmitters:"]
+    for node, count in tx.most_common(top):
+        lines.append(f"  node {node:<4} {count} frames sent")
+    lines.append("busiest receivers:")
+    for node, count in rx.most_common(top):
+        lines.append(f"  node {node:<4} {count} frames decoded")
+    return "\n".join(lines)
+
+
+def channel_usage(recorder: TraceRecorder) -> Dict[str, int]:
+    """Frame counts by (event kind, frame kind)."""
+    usage: Dict[str, int] = defaultdict(int)
+    for e in recorder.events:
+        usage[f"{e.kind}:{e.frame_kind}"] += 1
+    return dict(usage)
+
+
+def collision_hotspots(recorder: TraceRecorder, top: int = 10) -> List[tuple]:
+    """Receivers that see the most corrupted frames."""
+    hot = Counter(e.node for e in recorder.of_kind("col"))
+    return hot.most_common(top)

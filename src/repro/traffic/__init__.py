@@ -1,0 +1,15 @@
+"""Traffic substrate: sensing-data generation workloads.
+
+The paper's evaluation generates data at each sensor as a Poisson process
+with a mean inter-arrival of 120 s (Sec. 5).  Periodic and burst
+generators are provided for extension studies.
+"""
+
+from repro.traffic.generators import (
+    TrafficGenerator,
+    PoissonTraffic,
+    PeriodicTraffic,
+    BurstTraffic,
+)
+
+__all__ = ["TrafficGenerator", "PoissonTraffic", "PeriodicTraffic", "BurstTraffic"]

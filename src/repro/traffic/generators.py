@@ -1,0 +1,146 @@
+"""Data-generation workloads driven by the event scheduler.
+
+A generator is bound to one sensor node: it schedules itself on the DES
+and invokes ``on_generate()`` each time the node's sensing unit produces
+a reading (which the node turns into a queued data message).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Optional
+
+from repro.des.scheduler import EventScheduler
+
+
+class TrafficGenerator(abc.ABC):
+    """Base class: repeatedly fires ``on_generate`` until ``stop_time``."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        on_generate: Callable[[], None],
+        stop_time: Optional[float] = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._on_generate = on_generate
+        self.stop_time = stop_time
+        self.generated = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Schedule the first arrival (idempotent)."""
+        if not self._running:
+            self._running = True
+            self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating (pending arrival is discarded on fire)."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        delay = self.next_interval()
+        when = self._scheduler.now + delay
+        if self.stop_time is not None and when > self.stop_time:
+            self._running = False
+            return
+        self._scheduler.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.generated += 1
+        self._on_generate()
+        self._schedule_next()
+
+    @abc.abstractmethod
+    def next_interval(self) -> float:
+        """Seconds until the next reading."""
+
+
+class PoissonTraffic(TrafficGenerator):
+    """Poisson arrivals (exponential inter-arrival times).
+
+    The paper's default workload: ``mean_interval_s = 120``.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        on_generate: Callable[[], None],
+        rng: random.Random,
+        mean_interval_s: float = 120.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        super().__init__(scheduler, on_generate, stop_time)
+        if mean_interval_s <= 0:
+            raise ValueError("mean interval must be positive")
+        self._rng = rng
+        self.mean_interval_s = mean_interval_s
+
+    def next_interval(self) -> float:
+        """Seconds until the next reading."""
+        return self._rng.expovariate(1.0 / self.mean_interval_s)
+
+
+class PeriodicTraffic(TrafficGenerator):
+    """Fixed-period sensing with an optional random phase."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        on_generate: Callable[[], None],
+        period_s: float,
+        rng: Optional[random.Random] = None,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        super().__init__(scheduler, on_generate, stop_time)
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.period_s = period_s
+        self._first = True
+        self._rng = rng
+
+    def next_interval(self) -> float:
+        """Seconds until the next reading."""
+        if self._first:
+            self._first = False
+            if self._rng is not None:
+                return self._rng.uniform(0.0, self.period_s)
+        return self.period_s
+
+
+class BurstTraffic(TrafficGenerator):
+    """Bursty sensing: long exponential gaps, then a tight burst of readings.
+
+    Models event-driven workloads (e.g. a pollution spike) for extension
+    experiments.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        on_generate: Callable[[], None],
+        rng: random.Random,
+        mean_gap_s: float = 600.0,
+        burst_size: int = 5,
+        intra_burst_s: float = 1.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        super().__init__(scheduler, on_generate, stop_time)
+        if mean_gap_s <= 0 or burst_size < 1 or intra_burst_s <= 0:
+            raise ValueError("invalid burst parameters")
+        self._rng = rng
+        self.mean_gap_s = mean_gap_s
+        self.burst_size = burst_size
+        self.intra_burst_s = intra_burst_s
+        self._left_in_burst = 0
+
+    def next_interval(self) -> float:
+        """Seconds until the next reading."""
+        if self._left_in_burst > 0:
+            self._left_in_burst -= 1
+            return self.intra_burst_s
+        self._left_in_burst = self.burst_size - 1
+        return self._rng.expovariate(1.0 / self.mean_gap_s)

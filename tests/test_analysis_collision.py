@@ -1,0 +1,168 @@
+"""Unit + property tests for the Sec. 4 closed-form analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    cts_collision_probability,
+    grasp_probabilities,
+    grasp_probability,
+    min_contention_window,
+    min_tau_max,
+    rts_collision_probability,
+    sigma_slots,
+)
+from repro.analysis.collision import min_tau_max_fast
+
+
+class TestSigma:
+    def test_eq9_scaling(self):
+        assert sigma_slots(0.5, 20) == 10
+        assert sigma_slots(1.0, 20) == 20
+
+    def test_zero_xi_clamps_to_one_slot(self):
+        assert sigma_slots(0.0, 20) == 1
+
+    def test_ceiling_behaviour(self):
+        assert sigma_slots(0.26, 10) == 3  # ceil(2.6)
+
+    def test_never_exceeds_tau_max(self):
+        assert sigma_slots(1.0, 7) == 7
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            sigma_slots(1.5, 10)
+        with pytest.raises(ValueError):
+            sigma_slots(0.5, 0)
+
+
+class TestGraspProbability:
+    def test_single_node_always_grasps(self):
+        assert grasp_probability(0, [5]) == pytest.approx(1.0)
+
+    def test_two_symmetric_nodes(self):
+        # Both draw uniform from {1, 2}: P(win) = P(draw 1, other draws 2)
+        # = 1/2 * 1/2 = 1/4 each; collision probability = 1/2.
+        probs = grasp_probabilities([2, 2])
+        assert probs[0] == pytest.approx(0.25)
+        assert probs[1] == pytest.approx(0.25)
+        assert rts_collision_probability([2, 2]) == pytest.approx(0.5)
+
+    def test_shorter_sigma_wins_more(self):
+        # The low-xi node (small sigma) should grab the channel more often.
+        probs = grasp_probabilities([2, 10])
+        assert probs[0] > probs[1]
+
+    def test_exhaustive_enumeration_matches_formula(self):
+        """Brute-force all draw combinations for a 3-node cell."""
+        sigmas = [2, 3, 4]
+        wins = [0, 0, 0]
+        total = 0
+        for a in range(1, 3):
+            for b in range(1, 4):
+                for c in range(1, 5):
+                    total += 1
+                    draws = (a, b, c)
+                    lowest = min(draws)
+                    winners = [i for i, d in enumerate(draws) if d == lowest]
+                    if len(winners) == 1:
+                        wins[winners[0]] += 1
+        for i in range(3):
+            assert grasp_probability(i, sigmas) == pytest.approx(wins[i] / total)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(IndexError):
+            grasp_probability(3, [1, 2])
+        with pytest.raises(ValueError):
+            grasp_probability(0, [0, 2])
+
+    @given(st.lists(st.integers(min_value=1, max_value=12),
+                    min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_form_sub_distribution(self, sigmas):
+        probs = grasp_probabilities(sigmas)
+        assert all(0.0 <= p <= 1.0 + 1e-12 for p in probs)
+        assert sum(probs) <= 1.0 + 1e-9
+
+
+class TestMinTauMax:
+    def test_collision_probability_decreases_with_tau(self):
+        xis = [0.5, 0.5, 0.5]
+        gammas = [
+            rts_collision_probability([sigma_slots(x, tau) for x in xis])
+            for tau in (2, 8, 32)
+        ]
+        assert gammas[0] > gammas[1] > gammas[2]
+
+    def test_search_meets_threshold(self):
+        xis = [0.3, 0.6, 0.9]
+        tau = min_tau_max(xis, threshold=0.1, tau_cap=256)
+        sigmas = [sigma_slots(x, tau) for x in xis]
+        assert rts_collision_probability(sigmas) <= 0.1
+
+    def test_search_returns_minimum(self):
+        xis = [0.3, 0.6, 0.9]
+        tau = min_tau_max(xis, threshold=0.1, tau_cap=256)
+        if tau > 1:
+            sigmas = [sigma_slots(x, tau - 1) for x in xis]
+            assert rts_collision_probability(sigmas) > 0.1
+
+    def test_alone_in_cell_needs_one_slot(self):
+        assert min_tau_max([0.7], threshold=0.1) == 1
+
+    def test_cap_respected(self):
+        assert min_tau_max([0.5] * 6, threshold=1e-9, tau_cap=16) == 16
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False),
+                    min_size=2, max_size=5),
+           st.sampled_from([0.05, 0.1, 0.2, 0.4]))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_search_agrees_with_exact(self, xis, threshold):
+        exact = min_tau_max(xis, threshold, tau_cap=128)
+        fast = min_tau_max_fast(xis, threshold, tau_cap=128)
+        # The binary search may land on a ceil() ripple one slot away,
+        # but must always satisfy the threshold it claims to satisfy.
+        assert abs(fast - exact) <= 1
+        if fast < 128:
+            sigmas = [sigma_slots(x, fast) for x in xis]
+            assert rts_collision_probability(sigmas) <= threshold
+
+    def test_fast_search_alone_in_cell(self):
+        assert min_tau_max_fast([0.7], threshold=0.1) == 1
+
+
+class TestCtsCollision:
+    def test_zero_or_one_responder_never_collides(self):
+        assert cts_collision_probability(0, 4) == 0.0
+        assert cts_collision_probability(1, 1) == 0.0
+
+    def test_eq14_birthday_two_in_two(self):
+        # Two responders, two slots: collide iff same slot -> 1/2.
+        assert cts_collision_probability(2, 2) == pytest.approx(0.5)
+
+    def test_more_responders_than_slots_certain_collision(self):
+        assert cts_collision_probability(5, 4) == 1.0
+
+    def test_matches_direct_formula(self):
+        n, w = 3, 10
+        expected = 1 - math.perm(w, n) / w**n
+        assert cts_collision_probability(n, w) == pytest.approx(expected)
+
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_decreasing_in_window(self, n, w):
+        assert (cts_collision_probability(n, w)
+                >= cts_collision_probability(n, w + 1) - 1e-12)
+
+    def test_min_window_meets_target(self):
+        w = min_contention_window(4, threshold=0.1)
+        assert cts_collision_probability(4, w) <= 0.1
+        assert cts_collision_probability(4, w - 1) > 0.1
+
+    def test_min_window_cap(self):
+        assert min_contention_window(10, threshold=1e-12, window_cap=20) == 20

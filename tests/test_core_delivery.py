@@ -1,0 +1,99 @@
+"""Unit tests for the delivery probability estimator (Eq. 1)."""
+
+import pytest
+
+from repro.core import DeliveryProbabilityEstimator, ProtocolParameters
+from repro.des import EventScheduler
+
+
+def make(alpha=0.3, timeout=60.0, rule="best", initial=0.0):
+    params = ProtocolParameters(alpha=alpha, xi_timeout_s=timeout,
+                                xi_multicast_rule=rule)
+    sched = EventScheduler()
+    est = DeliveryProbabilityEstimator(params, sched, initial_xi=initial)
+    return sched, est
+
+
+def test_initial_xi_zero():
+    _, est = make()
+    assert est.xi == 0.0
+
+
+def test_transmission_update_single_receiver():
+    _, est = make(alpha=0.3, initial=0.5)
+    est.on_transmission([0.8])
+    # (1 - 0.3) * 0.5 + 0.3 * 0.8
+    assert est.xi == pytest.approx(0.7 * 0.5 + 0.3 * 0.8)
+
+
+def test_transmission_to_sink_pulls_towards_one():
+    _, est = make(alpha=0.3)
+    for _ in range(50):
+        est.on_transmission([1.0])
+    assert est.xi == pytest.approx(1.0, abs=1e-6)
+
+
+def test_best_rule_uses_max_receiver():
+    _, est = make(rule="best", initial=0.0)
+    est.on_transmission([0.2, 0.9, 0.5])
+    assert est.xi == pytest.approx(0.3 * 0.9)
+
+
+def test_sequential_rule_folds_all_receivers():
+    _, est = make(rule="sequential", initial=0.0)
+    est.on_transmission([0.5, 0.5])
+    # fold: 0 -> 0.15 -> 0.7*0.15 + 0.15 = 0.255
+    assert est.xi == pytest.approx(0.255)
+
+
+def test_timeout_decays_xi():
+    sched, est = make(alpha=0.3, timeout=10.0, initial=0.0)
+    est.start()
+    est.on_transmission([1.0])  # xi = 0.3 at t = 0
+    sched.run_until(10.0)       # one timeout fires
+    assert est.xi == pytest.approx(0.3 * 0.7)
+    assert est.timeouts == 1
+
+
+def test_timeout_rearms_repeatedly():
+    sched, est = make(alpha=0.5, timeout=5.0)
+    est.start()
+    est.on_transmission([1.0])  # xi = 0.5
+    sched.run_until(20.0)       # four decays
+    assert est.timeouts == 4
+    assert est.xi == pytest.approx(0.5 * 0.5**4)
+
+
+def test_transmission_resets_decay_timer():
+    sched, est = make(alpha=0.5, timeout=10.0)
+    est.start()
+    sched.run_until(8.0)
+    est.on_transmission([1.0])  # at t=8; timer restarts
+    sched.run_until(17.0)       # old timer would have fired at t=10
+    assert est.timeouts == 0
+    sched.run_until(18.0)       # new timer fires at t=18
+    assert est.timeouts == 1
+
+
+def test_xi_stays_in_unit_interval():
+    _, est = make(alpha=1.0)
+    est.on_transmission([1.0])
+    assert est.xi == 1.0
+    est.on_transmission([0.0])
+    assert est.xi == 0.0
+
+
+def test_rejects_empty_or_invalid_receivers():
+    _, est = make()
+    with pytest.raises(ValueError):
+        est.on_transmission([])
+    with pytest.raises(ValueError):
+        est.on_transmission([1.5])
+
+
+def test_stop_cancels_timer():
+    sched, est = make(timeout=5.0)
+    est.start()
+    est.stop()
+    sched.run_until(50.0)
+    assert est.timeouts == 0

@@ -1,0 +1,97 @@
+"""Unit + property tests for the FTD algebra (Eq. 2-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ftd import (
+    combined_delivery_probability,
+    receiver_copy_ftd,
+    sender_ftd_after_multicast,
+)
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestEq2ReceiverCopy:
+    def test_single_receiver_from_fresh_message(self):
+        # F_j = 1 - (1-0)(1-xi_i) * (empty product) = xi_i
+        assert receiver_copy_ftd(0.0, 0.4, [0.9], 0) == pytest.approx(0.4)
+
+    def test_two_receivers_cross_reference(self):
+        # Receiver 0's FTD counts the sender and receiver 1 (not itself).
+        f0 = receiver_copy_ftd(0.0, 0.5, [0.8, 0.6], 0)
+        assert f0 == pytest.approx(1 - 0.5 * 0.4)
+        f1 = receiver_copy_ftd(0.0, 0.5, [0.8, 0.6], 1)
+        assert f1 == pytest.approx(1 - 0.5 * 0.2)
+
+    def test_existing_ftd_compounds(self):
+        f = receiver_copy_ftd(0.3, 0.5, [0.9], 0)
+        assert f == pytest.approx(1 - 0.7 * 0.5)
+
+    def test_higher_xi_peer_means_higher_own_ftd(self):
+        low = receiver_copy_ftd(0.0, 0.2, [0.9, 0.1], 1)
+        high = receiver_copy_ftd(0.0, 0.2, [0.9, 0.9], 1)
+        # Peer 0's xi rose from 0.9 to 0.9 (same); compare via index 1's view
+        # of differing peer sets instead:
+        weak_peer = receiver_copy_ftd(0.0, 0.2, [0.1, 0.5], 1)
+        strong_peer = receiver_copy_ftd(0.0, 0.2, [0.9, 0.5], 1)
+        assert strong_peer > weak_peer
+        assert low <= high
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(IndexError):
+            receiver_copy_ftd(0.0, 0.5, [0.5], 2)
+
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ValueError):
+            receiver_copy_ftd(1.5, 0.5, [0.5], 0)
+        with pytest.raises(ValueError):
+            receiver_copy_ftd(0.5, 0.5, [1.5], 0)
+
+    @given(probs, probs, st.lists(probs, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_probability(self, f, xi, xis):
+        out = receiver_copy_ftd(f, xi, xis, 0)
+        assert 0.0 <= out <= 1.0
+
+    @given(probs, st.lists(probs, min_size=2, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_receiver_copy_at_least_sender_survival(self, f, xis):
+        """Each receiver's copy FTD >= what the sender's FTD alone implies."""
+        out = receiver_copy_ftd(f, 0.0, xis, 0)
+        assert out >= f - 1e-12
+
+
+class TestEq3SenderUpdate:
+    def test_empty_phi_is_identity(self):
+        assert sender_ftd_after_multicast(0.4, []) == pytest.approx(0.4)
+
+    def test_single_receiver(self):
+        assert sender_ftd_after_multicast(0.0, [0.6]) == pytest.approx(0.6)
+
+    def test_sink_receiver_drives_to_one(self):
+        assert sender_ftd_after_multicast(0.2, [1.0]) == 1.0
+
+    def test_compounds_over_receivers(self):
+        f = sender_ftd_after_multicast(0.5, [0.5, 0.5])
+        assert f == pytest.approx(1 - 0.5 * 0.25)
+
+    @given(probs, st.lists(probs, min_size=0, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_nondecreasing(self, f, xis):
+        """Multicasting can only add redundancy, never reduce it."""
+        out = sender_ftd_after_multicast(f, xis)
+        assert out >= f - 1e-12
+        assert 0.0 <= out <= 1.0
+
+    @given(probs, st.lists(probs, min_size=1, max_size=4), probs)
+    @settings(max_examples=100, deadline=None)
+    def test_extra_receiver_never_decreases_ftd(self, f, xis, extra):
+        assert (sender_ftd_after_multicast(f, xis + [extra])
+                >= sender_ftd_after_multicast(f, xis) - 1e-12)
+
+    def test_combined_probability_alias(self):
+        assert combined_delivery_probability(0.3, [0.5]) == pytest.approx(
+            sender_ftd_after_multicast(0.3, [0.5])
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for the listen-window and contention-window policies."""
+
+import random
+
+import pytest
+
+from repro.core.contention import ContentionPolicy
+from repro.core.listen import ListenPolicy
+from repro.core.params import ProtocolParameters
+from repro.analysis import cts_collision_probability, min_tau_max
+
+
+class TestListenPolicy:
+    def test_fixed_mode_keeps_configured_tau(self):
+        policy = ListenPolicy(ProtocolParameters(adaptive_tau=False,
+                                                 tau_max_slots=16))
+        assert policy.update_tau_max(0.5, [0.5, 0.5], now=100.0) == 16
+        assert policy.optimizations == 0
+
+    def test_adaptive_mode_matches_analysis(self):
+        params = ProtocolParameters(adaptive_tau=True, collision_target=0.1,
+                                    tau_cap_slots=64)
+        policy = ListenPolicy(params)
+        xis = [0.5, 0.25, 0.75]
+        got = policy.update_tau_max(xis[0], xis[1:], now=100.0)
+        expected = min_tau_max(sorted(round(x, 2) for x in xis), 0.1, 64)
+        # The online policy uses the O(log) search, which can land one
+        # slot off the exact linear optimum on ceil() ripples.
+        assert abs(got - expected) <= 1
+
+    def test_reoptimization_is_rate_limited(self):
+        policy = ListenPolicy(ProtocolParameters())
+        policy.update_tau_max(0.1, [0.9], now=10.0)
+        first = policy.tau_max
+        # Within the interval the cached value is reused even if the cell
+        # changed drastically.
+        policy.update_tau_max(0.9, [0.9, 0.9, 0.9, 0.9], now=10.1)
+        assert policy.tau_max == first
+        assert policy.optimizations == 1
+        policy.update_tau_max(0.9, [0.9, 0.9, 0.9, 0.9], now=100.0)
+        assert policy.optimizations == 2
+
+    def test_draw_within_sigma(self):
+        policy = ListenPolicy(ProtocolParameters(adaptive_tau=False,
+                                                 tau_max_slots=20))
+        rng = random.Random(1)
+        draws = {policy.draw_listen_slots(rng, 0.5) for _ in range(200)}
+        assert draws <= set(range(1, 11))  # sigma = 0.5 * 20 = 10
+        assert 1 in draws and 10 in draws
+
+    def test_low_xi_listens_shorter_on_average(self):
+        policy = ListenPolicy(ProtocolParameters(adaptive_tau=False,
+                                                 tau_max_slots=32))
+        rng = random.Random(2)
+        low = sum(policy.draw_listen_slots(rng, 0.1) for _ in range(500))
+        high = sum(policy.draw_listen_slots(rng, 0.9) for _ in range(500))
+        assert low < high
+
+
+class TestContentionPolicy:
+    def test_fixed_mode(self):
+        policy = ContentionPolicy(ProtocolParameters(
+            adaptive_cw=False, contention_window_slots=8))
+        assert policy.window_slots(5) == 8
+
+    def test_adaptive_meets_collision_target_or_caps(self):
+        # The birthday bound needs W ~ 5 n^2 slots for gamma_o <= 0.1, so
+        # larger responder counts legitimately saturate at the cap.
+        policy = ContentionPolicy(ProtocolParameters(
+            adaptive_cw=True, collision_target=0.1, cw_cap_slots=64))
+        for n in (1, 2, 4, 7):
+            w = policy.window_slots(n)
+            assert cts_collision_probability(n, w) <= 0.1 or w == 64
+
+    def test_window_grows_with_expected_responders(self):
+        policy = ContentionPolicy(ProtocolParameters(cw_cap_slots=256))
+        assert policy.window_slots(6) > policy.window_slots(2)
+
+    def test_zero_expected_treated_as_one(self):
+        policy = ContentionPolicy(ProtocolParameters())
+        assert policy.window_slots(0) >= 1
+
+    def test_reply_slot_in_window(self):
+        rng = random.Random(3)
+        draws = {ContentionPolicy.draw_reply_slot(rng, 6) for _ in range(300)}
+        assert draws == set(range(1, 7))
+
+    def test_reply_slot_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            ContentionPolicy.draw_reply_slot(random.Random(0), 0)

@@ -1,0 +1,101 @@
+"""Unit tests for protocol parameters and message primitives."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.message import DataMessage, MessageCopy, fresh_message_id
+from repro.core.params import ProtocolParameters
+
+
+class TestPresets:
+    def test_opt_enables_everything(self):
+        p = ProtocolParameters.opt()
+        assert p.sleep_enabled and p.adaptive_sleep
+        assert p.adaptive_tau and p.adaptive_cw
+        assert p.lpl_enabled
+
+    def test_noopt_fixes_parameters(self):
+        p = ProtocolParameters.noopt()
+        assert p.sleep_enabled
+        assert not p.adaptive_sleep
+        assert not p.adaptive_tau
+        assert not p.adaptive_cw
+
+    def test_nosleep_disables_sleeping_only(self):
+        p = ProtocolParameters.nosleep()
+        assert not p.sleep_enabled
+        assert p.adaptive_tau and p.adaptive_cw
+
+    def test_overrides_apply(self):
+        p = ProtocolParameters.noopt(tau_max_slots=32)
+        assert p.tau_max_slots == 32
+        assert not p.adaptive_tau
+
+    def test_frozen(self):
+        p = ProtocolParameters()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.alpha = 0.5  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"alpha": -0.1},
+        {"alpha": 1.1},
+        {"xi_timeout_s": 0.0},
+        {"xi_multicast_rule": "median"},
+        {"delivery_threshold_r": 0.0},
+        {"ftd_drop_threshold": 1.5},
+        {"queue_capacity": 0},
+        {"idle_cycles_before_sleep_l": 0},
+        {"success_window_s_cycles": 0},
+        {"tau_max_slots": 0},
+        {"contention_window_slots": 0},
+        {"fixed_sleep_multiple": 0.5},
+        {"t_min_s": -1.0},
+        {"retry_gap_min_s": 0.0},
+        {"retry_gap_max_s": 0.05},  # < min default 0.2
+        {"idle_poll_s": 0.0},
+        {"rx_slack_s": -0.1},
+        {"lpl_sample_interval_s": 0.0},
+        {"preamble_margin_s": -0.1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProtocolParameters(**kwargs)
+
+    def test_defaults_are_valid(self):
+        ProtocolParameters()  # must not raise
+
+
+class TestMessages:
+    def test_fresh_ids_are_unique(self):
+        ids = {fresh_message_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_message_immutable(self):
+        msg = DataMessage(1, origin=5, created_at=10.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.origin = 6  # type: ignore[misc]
+
+    def test_message_validation(self):
+        with pytest.raises(ValueError):
+            DataMessage(1, origin=5, created_at=0.0, size_bits=0)
+
+    def test_copy_validation(self):
+        msg = DataMessage(1, origin=5, created_at=0.0)
+        with pytest.raises(ValueError):
+            MessageCopy(msg, ftd=1.5)
+        with pytest.raises(ValueError):
+            MessageCopy(msg, hops=-1)
+
+    def test_forwarded_increments_hops_and_sets_ftd(self):
+        msg = DataMessage(1, origin=5, created_at=0.0)
+        copy = MessageCopy(msg, ftd=0.2, hops=3)
+        fwd = copy.forwarded(0.5, received_at=100.0)
+        assert fwd.hops == 4
+        assert fwd.ftd == 0.5
+        assert fwd.received_at == 100.0
+        assert fwd.message is msg
+        # Original untouched.
+        assert copy.hops == 3 and copy.ftd == 0.2

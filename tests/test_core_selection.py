@@ -1,0 +1,94 @@
+"""Unit tests for receiver-subset selection (Sec. 3.2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ftd import combined_delivery_probability
+from repro.core.selection import Candidate, select_receivers
+
+
+def cand(nid, xi, slots=5, sink=False):
+    return Candidate(node_id=nid, xi=xi, buffer_slots=slots, is_sink=sink)
+
+
+def test_empty_candidates_empty_selection():
+    assert select_receivers(0.2, 0.0, [], 0.9) == []
+
+
+def test_unqualified_low_xi_excluded():
+    sel = select_receivers(0.5, 0.0, [cand(1, 0.4), cand(2, 0.5)], 0.9)
+    assert sel == []
+
+
+def test_zero_buffer_excluded():
+    sel = select_receivers(0.1, 0.0, [cand(1, 0.9, slots=0)], 0.9)
+    assert sel == []
+
+
+def test_sink_alone_satisfies_threshold():
+    sel = select_receivers(0.3, 0.0,
+                           [cand(1, 1.0, sink=True), cand(2, 0.8)], 0.9)
+    assert [c.node_id for c in sel] == [1]
+
+
+def test_greedy_stops_once_threshold_met():
+    # 1 - (1-0.8) = 0.8 <= 0.9 after first; adding 0.7: 1 - 0.2*0.3 = 0.94 > 0.9
+    sel = select_receivers(0.1, 0.0,
+                           [cand(1, 0.8), cand(2, 0.7), cand(3, 0.6)], 0.9)
+    assert [c.node_id for c in sel] == [1, 2]
+
+
+def test_orders_by_descending_xi():
+    sel = select_receivers(0.0, 0.0,
+                           [cand(1, 0.2), cand(2, 0.6), cand(3, 0.4)], 0.99)
+    assert [c.node_id for c in sel] == [2, 3, 1]
+
+
+def test_existing_ftd_counts_toward_threshold():
+    # With message FTD already 0.85, one xi=0.5 receiver gives
+    # 1 - 0.15*0.5 = 0.925 > 0.9 -> stop after one.
+    sel = select_receivers(0.1, 0.85,
+                           [cand(1, 0.5), cand(2, 0.5)], 0.9)
+    assert len(sel) == 1
+
+
+def test_threshold_not_reachable_selects_all_qualified():
+    sel = select_receivers(0.1, 0.0, [cand(1, 0.3), cand(2, 0.2)], 0.999)
+    assert len(sel) == 2
+
+
+def test_deterministic_tiebreak_on_equal_xi():
+    a = select_receivers(0.0, 0.0, [cand(2, 0.5), cand(1, 0.5)], 0.99)
+    b = select_receivers(0.0, 0.0, [cand(1, 0.5), cand(2, 0.5)], 0.99)
+    assert [c.node_id for c in a] == [c.node_id for c in b] == [1, 2]
+
+
+def test_rejects_invalid_inputs():
+    with pytest.raises(ValueError):
+        select_receivers(1.5, 0.0, [], 0.9)
+    with pytest.raises(ValueError):
+        select_receivers(0.5, -0.1, [], 0.9)
+    with pytest.raises(ValueError):
+        select_receivers(0.5, 0.0, [], 0.0)
+    with pytest.raises(ValueError):
+        Candidate(1, xi=1.2, buffer_slots=3)
+    with pytest.raises(ValueError):
+        Candidate(1, xi=0.5, buffer_slots=-1)
+
+
+@given(
+    st.floats(0, 1), st.floats(0, 0.95),
+    st.lists(st.tuples(st.integers(0, 50), st.floats(0, 1),
+                       st.integers(0, 5)), max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_selection_invariants(sender_xi, ftd, raw):
+    candidates = [cand(nid, xi, slots) for nid, xi, slots in raw]
+    sel = select_receivers(sender_xi, ftd, candidates, 0.9)
+    # Every selected receiver strictly outranks the sender and has room.
+    assert all(c.xi > sender_xi and c.buffer_slots > 0 for c in sel)
+    # Minimality: the threshold was not already met before the last pick.
+    if len(sel) > 1:
+        without_last = [c.xi for c in sel[:-1]]
+        assert combined_delivery_probability(ftd, without_last) <= 0.9

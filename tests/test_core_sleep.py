@@ -1,0 +1,169 @@
+"""Unit tests for the adaptive sleep scheduler (Sec. 4.1, Eq. 4-8)."""
+
+import pytest
+
+from repro.core.params import ProtocolParameters
+from repro.core.sleep import SleepScheduler
+
+
+def make(t_min=8.0, **overrides):
+    params = ProtocolParameters(**overrides)
+    return SleepScheduler(params, t_min)
+
+
+class TestRhoEq4:
+    def test_floor_is_one_over_s(self):
+        s = make(success_window_s_cycles=10)
+        assert s.rho() == pytest.approx(0.1)
+        for _ in range(10):
+            s.record_cycle(False)
+        assert s.rho() == pytest.approx(0.1)
+
+    def test_counts_successes_over_window(self):
+        s = make(success_window_s_cycles=10)
+        for outcome in (True, False, True, True):
+            s.record_cycle(outcome)
+        assert s.rho() == pytest.approx(0.3)
+
+    def test_window_slides(self):
+        s = make(success_window_s_cycles=4)
+        for _ in range(4):
+            s.record_cycle(True)
+        assert s.rho() == pytest.approx(1.0)
+        for _ in range(4):
+            s.record_cycle(False)
+        assert s.rho() == pytest.approx(0.25)  # floor 1/S
+
+
+class TestIdleRule:
+    def test_sleeps_after_l_idle_cycles(self):
+        s = make(idle_cycles_before_sleep_l=3)
+        for _ in range(2):
+            s.record_cycle(False)
+        assert not s.should_sleep()
+        s.record_cycle(False)
+        assert s.should_sleep()
+
+    def test_transmission_resets_idle_streak(self):
+        s = make(idle_cycles_before_sleep_l=3)
+        s.record_cycle(False)
+        s.record_cycle(False)
+        s.record_cycle(True)
+        assert s.idle_cycles == 0
+        assert not s.should_sleep()
+
+    def test_disabled_sleeping_never_sleeps(self):
+        s = make(sleep_enabled=False)
+        for _ in range(20):
+            s.record_cycle(False)
+        assert not s.should_sleep()
+
+    def test_reset_idle(self):
+        s = make()
+        for _ in range(5):
+            s.record_cycle(False)
+        s.reset_idle()
+        assert not s.should_sleep()
+
+
+class TestDurationEq6:
+    def test_busy_node_sleeps_t_min(self):
+        s = make(t_min=8.0, buffer_threshold_h=0.5,
+                 success_window_s_cycles=10)
+        for _ in range(10):
+            s.record_cycle(True)
+        # rho = 1: T = max(T_min, T_min / (1 - H + a)) = T_min / 0.5 = 16
+        assert s.sleep_duration(0.0) == pytest.approx(16.0)
+
+    def test_idle_node_sleeps_t_max(self):
+        s = make(t_min=8.0, buffer_threshold_h=0.5,
+                 success_window_s_cycles=10)
+        # rho floor = 0.1 -> T = 8 * 10 / 0.5 = 160 = T_max
+        assert s.sleep_duration(0.0) == pytest.approx(s.t_max_s)
+        assert s.t_max_s == pytest.approx(160.0)
+
+    def test_important_buffer_shortens_sleep(self):
+        s = make(t_min=8.0, buffer_threshold_h=0.5)
+        long = s.sleep_duration(0.0)
+        short = s.sleep_duration(1.0)
+        assert short < long
+
+    def test_never_below_t_min(self):
+        s = make(t_min=8.0)
+        for _ in range(10):
+            s.record_cycle(True)
+        assert s.sleep_duration(1.0) >= 8.0
+
+    def test_never_above_t_max(self):
+        s = make(t_min=8.0)
+        assert s.sleep_duration(0.0) <= s.t_max_s
+
+    def test_fixed_mode_uses_multiple_of_t_min(self):
+        s = make(t_min=8.0, adaptive_sleep=False, fixed_sleep_multiple=4.0)
+        for _ in range(10):
+            s.record_cycle(True)  # would give T_min if adaptive
+        assert s.sleep_duration(0.0) == pytest.approx(32.0)
+
+    def test_rejects_bad_importance(self):
+        s = make()
+        with pytest.raises(ValueError):
+            s.sleep_duration(1.5)
+
+    def test_rejects_bad_t_min(self):
+        with pytest.raises(ValueError):
+            SleepScheduler(ProtocolParameters(), 0.0)
+
+
+class TestWorkPeriodSplit:
+    """The attempt streak and the Eq. 4 cycle history are distinct."""
+
+    def test_attempts_do_not_touch_rho_window(self):
+        s = make(success_window_s_cycles=4)
+        for _ in range(10):
+            s.record_attempt(False)
+        assert s.rho() == pytest.approx(0.25)  # still the 1/S floor
+
+    def test_close_work_period_pushes_outcome(self):
+        s = make(success_window_s_cycles=4)
+        s.record_attempt(True)
+        s.record_attempt(False)
+        s.close_work_period()
+        assert s.rho() == pytest.approx(0.25)  # one success of window 4
+
+    def test_failed_work_period_recorded(self):
+        s = make(success_window_s_cycles=2)
+        s.record_attempt(False)
+        s.close_work_period()
+        s.record_attempt(True)
+        s.close_work_period()
+        assert s.rho() == pytest.approx(0.5)
+
+    def test_reset_idle_starts_fresh_work_period(self):
+        s = make()
+        s.record_attempt(True)
+        s.reset_idle()
+        s.record_attempt(False)
+        s.close_work_period()
+        # The success happened in the *previous* period; this one failed.
+        assert s.rho() == pytest.approx(1.0 / 10)
+
+    def test_one_success_keeps_short_sleeps_for_s_cycles(self):
+        """A recently successful node must not jump straight to T_max."""
+        s = make(t_min=8.0, success_window_s_cycles=10)
+        s.record_attempt(True)
+        s.close_work_period()
+        for _ in range(3):
+            s.record_attempt(False)
+            s.close_work_period()
+        # rho = 1/10 only after the success leaves the window.
+        assert s.rho() == pytest.approx(0.1)
+        assert s.sleep_duration(0.0) == s.t_max_s
+
+
+class TestAccounting:
+    def test_note_sleep_accumulates(self):
+        s = make()
+        s.note_sleep(10.0)
+        s.note_sleep(5.0)
+        assert s.sleeps_taken == 2
+        assert s.total_sleep_s == pytest.approx(15.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.des import EventScheduler
+from repro.des.scheduler import SchedulerError
+
+
+def test_clock_starts_at_zero():
+    sched = EventScheduler()
+    assert sched.now == 0.0
+    assert sched.pending == 0
+
+
+def test_events_fire_in_time_order():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(3.0, fired.append, "c")
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(2.0, fired.append, "b")
+    sched.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    sched = EventScheduler()
+    fired = []
+    for tag in "abcde":
+        sched.schedule(5.0, fired.append, tag)
+    sched.run()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "late", priority=5)
+    sched.schedule(1.0, fired.append, "early", priority=-5)
+    sched.run()
+    assert fired == ["early", "late"]
+
+
+def test_clock_advances_to_event_time():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(2.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [2.5]
+    assert sched.now == 2.5
+
+
+def test_run_until_stops_at_boundary_and_advances_clock():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, 1)
+    sched.schedule(10.0, fired.append, 10)
+    sched.run_until(5.0)
+    assert fired == [1]
+    assert sched.now == 5.0
+    # The remaining event is still pending and fires later.
+    sched.run_until(20.0)
+    assert fired == [1, 10]
+
+
+def test_run_until_includes_events_at_end_time():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(5.0, fired.append, "edge")
+    sched.run_until(5.0)
+    assert fired == ["edge"]
+
+
+def test_cancelled_event_does_not_fire():
+    sched = EventScheduler()
+    fired = []
+    ev = sched.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    sched.run()
+    assert fired == []
+    assert sched.events_fired == 0
+
+
+def test_negative_delay_rejected():
+    sched = EventScheduler()
+    with pytest.raises(SchedulerError):
+        sched.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sched = EventScheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SchedulerError):
+        sched.schedule_at(1.0, lambda: None)
+
+
+def test_events_scheduled_during_execution_fire():
+    sched = EventScheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sched.schedule(1.0, chain, n + 1)
+
+    sched.schedule(0.0, chain, 0)
+    sched.run()
+    assert fired == [0, 1, 2, 3]
+    assert sched.now == 3.0
+
+
+def test_stop_halts_run():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, 1)
+    sched.schedule(2.0, lambda: sched.stop())
+    sched.schedule(3.0, fired.append, 3)
+    sched.run()
+    assert fired == [1]
+    assert sched.pending == 1
+
+
+def test_events_fired_counts_only_executed():
+    sched = EventScheduler()
+    keep = sched.schedule(1.0, lambda: None)
+    drop = sched.schedule(2.0, lambda: None)
+    drop.cancel()
+    sched.run()
+    assert sched.events_fired == 1
+    assert keep.cancelled  # fired events are marked consumed

@@ -1,0 +1,120 @@
+"""Tests for the analytic DTN delivery models."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.dtn_models import (
+    direct_delivery_cdf,
+    direct_expected_delay,
+    epidemic_delivery_cdf,
+    epidemic_expected_delay,
+    node_contact_rate,
+    pair_contact_rate,
+    two_hop_expected_delay,
+)
+from repro.contact.detector import Contact
+
+
+class TestContactRates:
+    def test_pair_rate(self):
+        contacts = [Contact(0, 1, 0, 1)] * 10
+        # 4 nodes -> 6 pairs over 100 s.
+        assert pair_contact_rate(contacts, 4, 100.0) == pytest.approx(
+            10 / 6 / 100.0)
+
+    def test_node_rate(self):
+        contacts = [Contact(0, 1, 0, 1), Contact(0, 2, 0, 1),
+                    Contact(1, 2, 0, 1)]
+        assert node_contact_rate(contacts, 0, 10.0) == pytest.approx(0.2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pair_contact_rate([], 1, 10.0)
+        with pytest.raises(ValueError):
+            node_contact_rate([], 0, 0.0)
+
+
+class TestDirectModel:
+    def test_cdf_is_exponential(self):
+        assert direct_delivery_cdf(0.0, 0.01) == 0.0
+        assert direct_delivery_cdf(100.0, 0.01) == pytest.approx(
+            1 - math.exp(-1.0))
+
+    def test_expected_delay(self):
+        assert direct_expected_delay(0.01) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            direct_expected_delay(0.0)
+
+
+class TestEpidemicModel:
+    def test_single_carrier_reduces_to_direct(self):
+        # N = 1: no relays to infect, only direct sink contact.
+        expected = epidemic_expected_delay(1, 0.01, 1, 0.02)
+        assert expected == pytest.approx(1.0 / 0.02)
+
+    def test_more_relays_faster(self):
+        slow = epidemic_expected_delay(2, 0.001, 1, 0.001)
+        fast = epidemic_expected_delay(20, 0.001, 1, 0.001)
+        assert fast < slow
+
+    def test_more_sinks_faster(self):
+        one = epidemic_expected_delay(10, 0.001, 1, 0.001)
+        three = epidemic_expected_delay(10, 0.001, 3, 0.001)
+        assert three < one
+
+    def test_cdf_monotone_and_bounded(self):
+        args = (10, 0.001, 2, 0.001)
+        previous = 0.0
+        for t in (0.0, 100.0, 500.0, 2000.0, 10_000.0):
+            value = epidemic_delivery_cdf(t, *args)
+            assert 0.0 <= value <= 1.0
+            assert value >= previous - 1e-9
+            previous = value
+
+    def test_cdf_converges_to_one(self):
+        assert epidemic_delivery_cdf(1e6, 5, 0.001, 2, 0.001,
+                                     steps=5000) == pytest.approx(1.0, abs=0.02)
+
+    def test_cdf_consistent_with_mean(self):
+        """CDF at the analytic mean should be substantial (30-90%)."""
+        args = (8, 0.0005, 2, 0.0008)
+        mean = epidemic_expected_delay(*args)
+        at_mean = epidemic_delivery_cdf(mean, *args, steps=4000)
+        assert 0.3 < at_mean < 0.95
+
+    def test_epidemic_beats_two_hop_beats_direct(self):
+        n, lam, sinks, lam_s = 15, 0.0004, 1, 0.0006
+        direct = direct_expected_delay(sinks * lam_s)
+        two_hop = two_hop_expected_delay(n, lam, sinks, lam_s)
+        epidemic = epidemic_expected_delay(n, lam, sinks, lam_s)
+        assert epidemic <= two_hop <= direct
+
+    def test_monte_carlo_agreement(self):
+        """The Markov mean matches a direct stochastic simulation."""
+        n, lam, sinks, lam_s = 6, 0.002, 1, 0.003
+        analytic = epidemic_expected_delay(n, lam, sinks, lam_s)
+        rng = random.Random(42)
+        total = 0.0
+        trials = 3000
+        for _ in range(trials):
+            t, infected = 0.0, 1
+            while True:
+                inf_rate = infected * (n - infected) * lam
+                abs_rate = infected * sinks * lam_s
+                rate = inf_rate + abs_rate
+                t += rng.expovariate(rate)
+                if rng.random() < abs_rate / rate:
+                    break
+                infected += 1
+            total += t
+        assert total / trials == pytest.approx(analytic, rel=0.08)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            epidemic_expected_delay(0, 0.001, 1, 0.001)
+        with pytest.raises(ValueError):
+            epidemic_expected_delay(5, 0.001, 0, 0.0)
+        with pytest.raises(ValueError):
+            epidemic_delivery_cdf(-1.0, 5, 0.001, 1, 0.001)

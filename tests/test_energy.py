@@ -1,0 +1,95 @@
+"""Unit tests for the energy substrate."""
+
+import pytest
+
+from repro.energy import BERKELEY_MOTE, EnergyMeter, PowerProfile
+from repro.radio.states import RadioState
+
+
+class TestPowerProfile:
+    def test_paper_values(self):
+        # Sec. 5: rx 13.5 mW, tx 24.75 mW, sleep 15 uW, idle == rx.
+        assert BERKELEY_MOTE.rx_mw == 13.5
+        assert BERKELEY_MOTE.tx_mw == 24.75
+        assert BERKELEY_MOTE.sleep_mw == pytest.approx(0.015)
+        assert BERKELEY_MOTE.idle_mw == BERKELEY_MOTE.rx_mw
+        assert BERKELEY_MOTE.switch_energy_mj == pytest.approx(4 * 13.5)
+
+    def test_power_per_state(self):
+        p = BERKELEY_MOTE
+        assert p.power_mw(RadioState.TRANSMITTING) == 24.75
+        assert p.power_mw(RadioState.RECEIVING) == 13.5
+        assert p.power_mw(RadioState.LISTENING) == 13.5
+        assert p.power_mw(RadioState.SLEEPING) == pytest.approx(0.015)
+
+    def test_min_sleep_period_eq7(self):
+        # T_min = 2 * E_change / (P_idle - P_sleep)
+        expected = 2 * 54.0 / (13.5 - 0.015)
+        assert BERKELEY_MOTE.min_sleep_period_s() == pytest.approx(expected)
+
+    def test_min_sleep_rejects_profile_where_sleep_saves_nothing(self):
+        profile = PowerProfile(idle_mw=1.0, sleep_mw=1.0)
+        with pytest.raises(ValueError):
+            profile.min_sleep_period_s()
+
+
+class TestEnergyMeter:
+    def test_pure_listening_integrates_idle_power(self):
+        meter = EnergyMeter(BERKELEY_MOTE)
+        meter.finalize(10.0)
+        assert meter.consumed_mj == pytest.approx(135.0)  # 13.5 mW * 10 s
+        assert meter.per_state_s[RadioState.LISTENING] == pytest.approx(10.0)
+
+    def test_transition_charges_previous_state(self):
+        meter = EnergyMeter(BERKELEY_MOTE)
+        meter.transition(RadioState.TRANSMITTING, 2.0)   # 2 s listening
+        meter.transition(RadioState.LISTENING, 3.0)      # 1 s transmitting
+        meter.finalize(3.0)
+        assert meter.per_state_mj[RadioState.LISTENING] == pytest.approx(27.0)
+        assert meter.per_state_mj[RadioState.TRANSMITTING] == pytest.approx(24.75)
+
+    def test_sleep_transitions_add_switch_energy(self):
+        meter = EnergyMeter(BERKELEY_MOTE)
+        meter.transition(RadioState.SLEEPING, 1.0)
+        meter.transition(RadioState.LISTENING, 2.0)
+        assert meter.switches == 2
+        expected = 13.5 + 0.015 + 2 * BERKELEY_MOTE.switch_energy_mj
+        meter.finalize(2.0)
+        assert meter.consumed_mj == pytest.approx(expected)
+
+    def test_awake_state_changes_do_not_count_as_switches(self):
+        meter = EnergyMeter(BERKELEY_MOTE)
+        meter.transition(RadioState.TRANSMITTING, 1.0)
+        meter.transition(RadioState.LISTENING, 2.0)
+        assert meter.switches == 0
+
+    def test_average_power_constant_listening(self):
+        meter = EnergyMeter(BERKELEY_MOTE)
+        assert meter.average_power_mw(100.0) == pytest.approx(13.5)
+
+    def test_sleeping_net_saving_beyond_t_min(self):
+        """Sleeping longer than Eq. 7's T_min must beat staying idle."""
+        t_min = BERKELEY_MOTE.min_sleep_period_s()
+        sleeper = EnergyMeter(BERKELEY_MOTE)
+        sleeper.transition(RadioState.SLEEPING, 0.0)
+        sleeper.transition(RadioState.LISTENING, 2 * t_min)
+        sleeper.finalize(2 * t_min)
+        idler = EnergyMeter(BERKELEY_MOTE)
+        idler.finalize(2 * t_min)
+        assert sleeper.consumed_mj < idler.consumed_mj
+
+    def test_sleeping_below_t_min_wastes_energy(self):
+        t_min = BERKELEY_MOTE.min_sleep_period_s()
+        sleeper = EnergyMeter(BERKELEY_MOTE)
+        sleeper.transition(RadioState.SLEEPING, 0.0)
+        sleeper.transition(RadioState.LISTENING, 0.25 * t_min)
+        sleeper.finalize(0.25 * t_min)
+        idler = EnergyMeter(BERKELEY_MOTE)
+        idler.finalize(0.25 * t_min)
+        assert sleeper.consumed_mj > idler.consumed_mj
+
+    def test_time_going_backwards_rejected(self):
+        meter = EnergyMeter(BERKELEY_MOTE)
+        meter.transition(RadioState.SLEEPING, 5.0)
+        with pytest.raises(ValueError):
+            meter.transition(RadioState.LISTENING, 4.0)

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs end-to-end at a tiny scale."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "200")
+    assert "delivery ratio" in out
+    assert "average nodal power" in out
+
+
+def test_air_quality():
+    out = run_example("air_quality.py", "300")
+    assert "[opt]" in out and "[direct]" in out
+    assert "coverage" in out
+
+
+def test_flu_tracking():
+    out = run_example("flu_tracking.py", "300")
+    assert "[opt]" in out and "[zbr]" in out
+
+
+def test_protocol_comparison():
+    out = run_example("protocol_comparison.py", "150", "1", "3")
+    assert "Fig. 2(a)" in out
+    assert "OPT" in out and "ZBR" in out
+
+
+def test_optimization_tuning():
+    out = run_example("optimization_tuning.py")
+    assert "T_min" in out
+    assert "min W" in out
+
+
+def test_inspect_protocol():
+    out = run_example("inspect_protocol.py", "300")
+    assert "time series" in out
+    assert "run summary" in out
+
+
+def test_contact_level_study():
+    out = run_example("contact_level_study.py", "400")
+    assert "contact-level policies" in out
+    assert "analytic cross-check" in out

@@ -1,0 +1,108 @@
+"""Tests for fault injection and message survival under node deaths."""
+
+import pytest
+
+from repro import SimulationConfig, Simulation
+from repro.network.faults import FaultInjector, FaultPlan
+from repro.radio.states import RadioState
+
+
+def build(protocol="opt", duration=400.0, seed=13, sensors=25, sinks=2):
+    return Simulation(SimulationConfig(protocol=protocol,
+                                       duration_s=duration, seed=seed,
+                                       n_sensors=sensors, n_sinks=sinks))
+
+
+class TestFaultPlan:
+    def test_random_plan_respects_fraction_and_window(self):
+        sim = build()
+        plan = FaultPlan.random_deaths(sim, 0.4, start_s=50.0, end_s=300.0)
+        assert len(plan.failures) == 10  # 40% of 25
+        for when, node_id in plan.failures:
+            assert 50.0 <= when <= 300.0
+            assert node_id in set(range(2, 27))
+
+    def test_zero_fraction_empty_plan(self):
+        sim = build()
+        plan = FaultPlan.random_deaths(sim, 0.0)
+        assert plan.failures == ()
+
+    def test_invalid_fraction_rejected(self):
+        sim = build()
+        with pytest.raises(ValueError):
+            FaultPlan.random_deaths(sim, 1.5)
+
+    def test_non_sensor_target_rejected(self):
+        sim = build()
+        with pytest.raises(ValueError):
+            FaultInjector(sim, FaultPlan(failures=((10.0, 0),)))  # a sink
+
+    def test_failure_outside_run_rejected(self):
+        sim = build(duration=100.0)
+        sensor = sim.sensors[0].node_id
+        with pytest.raises(ValueError):
+            FaultInjector(sim, FaultPlan(failures=((500.0, sensor),)))
+
+
+class TestInjection:
+    def test_killed_nodes_go_dark(self):
+        sim = build(duration=300.0)
+        victims = [sim.sensors[0].node_id, sim.sensors[1].node_id]
+        plan = FaultPlan(failures=tuple((50.0, v) for v in victims))
+        injector = FaultInjector(sim, plan)
+        injector.arm()
+        sim.run()
+        assert injector.deaths == 2
+        for node in sim.sensors[:2]:
+            assert node.agent.failed
+            assert node.radio.state is RadioState.SLEEPING
+
+    def test_dead_nodes_stop_generating(self):
+        sim = build(duration=600.0)
+        victim = sim.sensors[0]
+        plan = FaultPlan(failures=((100.0, victim.node_id),))
+        FaultInjector(sim, plan).arm()
+        sim.run()
+        # No message from the victim is newer than its death.
+        for mid, created in sim.collector.generated.items():
+            record = sim.collector.deliveries.get(mid)
+            if record is not None and record.origin == victim.node_id:
+                assert record.created_at <= 100.0
+
+    def test_dead_nodes_consume_almost_no_energy(self):
+        sim = build(duration=1000.0)
+        victim = sim.sensors[0]
+        plan = FaultPlan(failures=((10.0, victim.node_id),))
+        FaultInjector(sim, plan).arm()
+        sim.run()
+        victim.radio.finalize()
+        # After death only sleep power accrues.
+        assert victim.radio.meter.average_power_mw(1000.0) < 2.0
+
+    def test_network_survives_mass_death(self):
+        sim = build(duration=500.0, sensors=30)
+        plan = FaultPlan.random_deaths(sim, 0.5, end_s=250.0)
+        injector = FaultInjector(sim, plan)
+        injector.arm()
+        result = sim.run()
+        assert injector.deaths == 15
+        assert result.messages_generated > 0
+        # Survivors keep operating.
+        assert 0.0 <= result.delivery_ratio <= 1.0
+
+    def test_arm_idempotent(self):
+        sim = build(duration=200.0)
+        victim = sim.sensors[0].node_id
+        injector = FaultInjector(sim, FaultPlan(failures=((50.0, victim),)))
+        injector.arm()
+        injector.arm()
+        sim.run()
+        assert injector.deaths == 1
+
+    def test_failure_mid_transmission_is_safe(self):
+        """Killing nodes at arbitrary instants must never corrupt the
+        radio state machine (regression guard for mid-frame deaths)."""
+        sim = build(protocol="nosleep", duration=300.0, sensors=20)
+        plan = FaultPlan.random_deaths(sim, 0.6, end_s=200.0)
+        FaultInjector(sim, plan).arm()
+        sim.run()  # must not raise

@@ -1,0 +1,133 @@
+"""Tests for the experiment harness (sweeps, figures, registry, CLI)."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    EXPERIMENTS,
+    AggregateResult,
+    format_series_table,
+    run_replicated,
+    sweep,
+)
+from repro.harness.cli import main as cli_main
+from repro.harness.experiment import vary_sensors, vary_sinks, vary_speed
+from repro.network import SimulationConfig
+
+TINY = SimulationConfig(protocol="opt", duration_s=120.0,
+                        n_sensors=12, n_sinks=2, seed=5)
+
+
+class TestReplication:
+    def test_run_replicated_aggregates(self):
+        agg = run_replicated(TINY, replicates=2)
+        assert agg.n == 2
+        assert 0.0 <= agg.delivery_ratio <= 1.0
+        assert agg.average_power_mw > 0.0
+
+    def test_replicates_use_distinct_seeds(self):
+        agg = run_replicated(TINY, replicates=2)
+        seeds = {r.config.seed for r in agg.replicates}
+        assert len(seeds) == 2
+
+    def test_mean_skips_none_delays(self):
+        agg = run_replicated(TINY, replicates=1)
+        # Either a float or nan-by-absence; both paths must not raise.
+        _ = agg.average_delay_s
+        _ = agg.ci("delivery_ratio")
+
+    def test_summary_structure(self):
+        agg = run_replicated(TINY, replicates=1)
+        summary = agg.summary()
+        assert set(summary) == {"delivery_ratio", "average_delay_s",
+                                "average_power_mw", "average_hops"}
+
+    def test_rejects_zero_replicates(self):
+        with pytest.raises(ValueError):
+            run_replicated(TINY, replicates=0)
+
+
+class TestSweep:
+    def test_sweep_over_sinks(self):
+        table = sweep(TINY, "n_sinks", [1, 2], vary_sinks, replicates=1)
+        assert set(table) == {1, 2}
+        assert table[2].config.n_sinks == 2
+
+    def test_axis_editors(self):
+        assert vary_sinks(TINY, 4).n_sinks == 4
+        assert vary_sensors(TINY, 30).n_sensors == 30
+        assert vary_speed(TINY, 2.5).speed_max_mps == 2.5
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        sweep(TINY, "n_sinks", [1], vary_sinks, replicates=1,
+              progress=lines.append)
+        assert any("n_sinks" in line for line in lines)
+
+
+class TestFormatting:
+    def _fake_table(self):
+        agg = run_replicated(TINY, replicates=1)
+        return {"opt": {1: agg, 3: agg}}
+
+    def test_format_series_table(self):
+        text = format_series_table(self._fake_table(), "delivery_ratio")
+        assert "delivery ratio" in text
+        assert "OPT" in text
+        lines = text.splitlines()
+        assert len(lines) == 4  # title + header + two axis rows
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            format_series_table(self._fake_table(), "jitter")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for exp_id in ("fig2a", "fig2b", "fig2c", "density", "speed"):
+            assert exp_id in EXPERIMENTS
+
+    def test_specs_are_complete(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.title
+            assert spec.paper_claim
+            assert callable(spec.runner)
+
+    def test_spec_runs_and_formats(self):
+        spec = EXPERIMENTS["fig2a"]
+        table = spec.runner(duration_s=100.0, replicates=1)
+        text = spec.format(table)
+        assert "OPT" in text and "ZBR" in text
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a" in out and "fig2b" in out
+
+    def test_single_command_json(self, capsys):
+        rc = cli_main(["single", "--protocol", "opt", "--sinks", "2",
+                       "--sensors", "10", "--duration", "100",
+                       "--seed", "3", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocol"] == "opt"
+        assert payload["generated"] >= 0
+
+    def test_single_command_plain(self, capsys):
+        rc = cli_main(["single", "--protocol", "zbr", "--sinks", "1",
+                       "--sensors", "8", "--duration", "80"])
+        assert rc == 0
+        assert "delivery ratio" in capsys.readouterr().out
+
+    def test_run_command_small(self, capsys):
+        rc = cli_main(["run", "fig2a", "--duration", "60",
+                       "--replicates", "1", "--quiet"])
+        assert rc == 0
+        assert "#sinks" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "fig9z"])

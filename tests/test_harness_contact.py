@@ -1,0 +1,59 @@
+"""Tests for the contact-level harness drivers and CLI subcommands."""
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.contact_experiments import (
+    cross_validation,
+    format_cross_validation,
+    format_policy_comparison,
+    policy_comparison,
+)
+
+
+class TestPolicyComparison:
+    def test_runs_selected_policies(self):
+        results = policy_comparison(duration_s=300.0,
+                                    policies=("fad", "direct"),
+                                    seed=3, n_sensors=15, n_sinks=2)
+        assert set(results) == {"fad", "direct"}
+        for r in results.values():
+            assert 0.0 <= r.delivery_ratio <= 1.0
+
+    def test_formatting(self):
+        results = policy_comparison(duration_s=200.0, policies=("direct",),
+                                    seed=3, n_sensors=10, n_sinks=1)
+        text = format_policy_comparison(results)
+        assert "direct" in text
+        assert "ratio" in text
+
+    def test_progress_callback(self):
+        lines = []
+        policy_comparison(duration_s=100.0, policies=("direct",), seed=1,
+                          n_sensors=8, n_sinks=1, progress=lines.append)
+        assert lines
+
+
+class TestCrossValidation:
+    def test_structure_and_bounds(self):
+        table = cross_validation(duration_s=250.0, seed=5)
+        assert set(table) == {"opt", "direct", "zbr"}
+        for row in table.values():
+            assert 0.0 <= row["packet_ratio"] <= 1.0
+            assert 0.0 <= row["contact_ratio"] <= 1.0
+        text = format_cross_validation(table)
+        assert "packet-level" in text
+
+
+class TestCliSubcommands:
+    def test_contact_command(self, capsys):
+        rc = cli_main(["contact", "--duration", "150", "--sensors", "10",
+                       "--sinks", "1", "--policies", "direct,fad"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "direct" in out and "fad" in out
+
+    def test_crossval_command(self, capsys):
+        rc = cli_main(["crossval", "--duration", "120"])
+        assert rc == 0
+        assert "packet-level" in capsys.readouterr().out

@@ -1,0 +1,65 @@
+"""Tests for the figure drivers (tiny scale — wiring, not physics)."""
+
+import pytest
+
+from repro.harness.figures import (
+    FIG2_PROTOCOLS,
+    FIG2_SINKS,
+    buffer_study,
+    density_study,
+    fig2,
+    format_fig2_report,
+    format_series_table,
+    sink_mobility_study,
+    speed_study,
+)
+
+
+TINY = dict(duration_s=80.0, replicates=1)
+
+
+class TestFig2Driver:
+    def test_defaults_match_paper(self):
+        assert FIG2_PROTOCOLS == ("opt", "nosleep", "noopt", "zbr")
+        assert FIG2_SINKS == (1, 2, 3, 4, 5, 6)
+
+    def test_structure(self):
+        table = fig2(sink_counts=(1, 2), protocols=("opt", "zbr"), **TINY)
+        assert set(table) == {"opt", "zbr"}
+        assert set(table["opt"]) == {1, 2}
+        assert table["opt"][2].config.n_sinks == 2
+
+    def test_full_report_renders_three_panels(self):
+        table = fig2(sink_counts=(1,), protocols=("opt",), **TINY)
+        report = format_fig2_report(table)
+        assert "Fig. 2(a)" in report
+        assert "Fig. 2(b)" in report
+        assert "Fig. 2(c)" in report
+
+
+class TestStudyDrivers:
+    def test_density_study(self):
+        table = density_study(sensor_counts=(10, 20),
+                              protocols=("opt",), **TINY)
+        assert set(table["opt"]) == {10, 20}
+        assert table["opt"][20].config.n_sensors == 20
+
+    def test_speed_study(self):
+        table = speed_study(max_speeds=(1.0, 5.0),
+                            protocols=("zbr",), **TINY)
+        assert table["zbr"][5.0].config.speed_max_mps == 5.0
+
+    def test_buffer_study(self):
+        table = buffer_study(capacities=(10, 50), protocols=("opt",), **TINY)
+        assert table["opt"][10].config.queue_capacity == 10
+
+    def test_sink_mobility_study(self):
+        table = sink_mobility_study(protocols=("opt",), **TINY)
+        assert set(table["opt"]) == {"static", "mobile"}
+        assert table["opt"]["mobile"].config.sink_mobility == "mobile"
+
+    def test_table_renders_all_axis_values(self):
+        table = buffer_study(capacities=(10, 50), protocols=("opt",), **TINY)
+        text = format_series_table(table, "delivery_ratio",
+                                   axis_label="buffer")
+        assert "10" in text and "50" in text

@@ -1,0 +1,46 @@
+"""Tests for JSON result export."""
+
+import json
+
+from repro.harness.cli import main as cli_main
+from repro.harness.experiment import run_replicated, sweep, vary_sinks
+from repro.harness.report import (
+    load_series_records,
+    save_series_table,
+    series_table_to_records,
+)
+from repro.network import SimulationConfig
+
+TINY = SimulationConfig(protocol="opt", duration_s=100.0,
+                        n_sensors=10, n_sinks=1, seed=2)
+
+
+def test_records_structure():
+    table = {"opt": sweep(TINY, "n_sinks", [1, 2], vary_sinks,
+                          replicates=1)}
+    records = series_table_to_records(table)
+    assert set(records) == {"opt"}
+    assert set(records["opt"]) == {"1", "2"}
+    point = records["opt"]["1"]
+    assert point["replicates"] == 1
+    assert 0.0 <= point["delivery_ratio"] <= 1.0
+    assert len(point["per_replicate"]) == 1
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    table = {"opt": sweep(TINY, "n_sinks", [1], vary_sinks, replicates=1)}
+    path = save_series_table(table, tmp_path / "out" / "fig.json",
+                             "fig2a", 100.0, notes="test run")
+    payload = load_series_records(path)
+    assert payload["experiment"] == "fig2a"
+    assert payload["notes"] == "test run"
+    assert "opt" in payload["results"]
+
+
+def test_cli_save_option(tmp_path, capsys):
+    out = tmp_path / "fig2a.json"
+    rc = cli_main(["run", "fig2a", "--duration", "60", "--replicates", "1",
+                   "--quiet", "--save", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["experiment"] == "fig2a"

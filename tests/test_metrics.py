@@ -1,0 +1,105 @@
+"""Unit tests for metrics collection and statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.core.message import DataMessage, MessageCopy
+from repro.metrics import (
+    MetricsCollector,
+    RunningStat,
+    mean_confidence_interval,
+    summarize,
+)
+
+
+def delivered_copy(mid, origin=7, created=100.0, hops=2):
+    msg = DataMessage(message_id=mid, origin=origin, created_at=created)
+    return MessageCopy(msg, ftd=0.0, hops=hops)
+
+
+class TestCollector:
+    def test_delivery_ratio_counts_unique_messages(self):
+        c = MetricsCollector()
+        for mid in range(4):
+            c.record_generation(mid, created_at=float(mid))
+        c.record_delivery(delivered_copy(0), sink_id=1, now=150.0)
+        c.record_delivery(delivered_copy(2), sink_id=1, now=180.0)
+        assert c.delivery_ratio() == pytest.approx(0.5)
+
+    def test_duplicate_delivery_ignored_but_counted(self):
+        c = MetricsCollector()
+        c.record_generation(0, 0.0)
+        c.record_delivery(delivered_copy(0, created=0.0), 1, now=10.0)
+        c.record_delivery(delivered_copy(0, created=0.0), 2, now=20.0)
+        assert c.messages_delivered == 1
+        assert c.duplicate_deliveries == 1
+        # First arrival wins for the delay metric.
+        assert c.average_delay() == pytest.approx(10.0)
+
+    def test_delay_and_hops_from_first_arrival(self):
+        c = MetricsCollector()
+        c.record_generation(0, 0.0)
+        c.record_generation(1, 0.0)
+        c.record_delivery(delivered_copy(0, created=100.0, hops=0), 1, 150.0)
+        c.record_delivery(delivered_copy(1, created=100.0, hops=2), 1, 250.0)
+        assert c.average_delay() == pytest.approx(100.0)
+        # hops recorded = copy.hops + 1 (the final hop into the sink)
+        assert c.average_hops() == pytest.approx(2.0)
+
+    def test_empty_collector_is_safe(self):
+        c = MetricsCollector()
+        assert c.delivery_ratio() == 0.0
+        assert c.average_delay() is None
+        assert c.average_hops() is None
+
+    def test_double_generation_rejected(self):
+        c = MetricsCollector()
+        c.record_generation(0, 0.0)
+        with pytest.raises(ValueError):
+            c.record_generation(0, 1.0)
+
+
+class TestRunningStat:
+    def test_mean_and_variance(self):
+        stat = RunningStat()
+        stat.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stat.mean == pytest.approx(5.0)
+        assert stat.variance == pytest.approx(32.0 / 7.0)
+
+    def test_single_value(self):
+        stat = RunningStat()
+        stat.add(3.0)
+        assert stat.mean == 3.0
+        assert stat.variance == 0.0
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(RunningStat().mean)
+
+
+class TestSummaries:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["n"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_summarize_empty(self):
+        s = summarize([])
+        assert s["n"] == 0
+        assert math.isnan(s["mean"])
+
+    def test_confidence_interval_two_samples(self):
+        mean, half = mean_confidence_interval([1.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        # t(1 dof, 95%) = 12.706; std = sqrt(2); half = t * std / sqrt(2)
+        assert half == pytest.approx(12.706)
+
+    def test_confidence_interval_single_sample(self):
+        mean, half = mean_confidence_interval([5.0])
+        assert mean == 5.0
+        assert half == 0.0
+
+    def test_unsupported_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=0.9)

@@ -1,0 +1,91 @@
+"""Tests for the truncated Levy-walk mobility model."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, run_simulation
+from repro.mobility import Area, LevyWalkMobility
+from repro.mobility.levy import _truncated_pareto
+
+
+class TestTruncatedPareto:
+    def test_respects_bounds(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            x = _truncated_pareto(rng, alpha=1.5, lo=2.0, hi=50.0)
+            assert 2.0 <= x <= 50.0
+
+    def test_heavy_tail_shape(self):
+        """Small draws dominate, but long draws do occur."""
+        rng = random.Random(2)
+        draws = [_truncated_pareto(rng, 1.5, 1.0, 100.0)
+                 for _ in range(5000)]
+        small = sum(1 for d in draws if d < 5.0)
+        large = sum(1 for d in draws if d > 50.0)
+        assert small > 0.6 * len(draws)
+        assert large > 0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            _truncated_pareto(random.Random(0), 1.5, 5.0, 5.0)
+
+
+class TestLevyWalk:
+    def make(self, n=20, seed=3, **kw):
+        return LevyWalkMobility(list(range(n)), Area(150, 150),
+                                random.Random(seed), **kw)
+
+    def test_stays_in_area(self):
+        m = self.make()
+        for _ in range(500):
+            m.step(1.0)
+        assert np.all(m.positions >= 0.0)
+        assert np.all(m.positions <= 150.0)
+
+    def test_nodes_move_eventually(self):
+        m = self.make()
+        before = m.positions.copy()
+        for _ in range(200):
+            m.step(1.0)
+        moved = np.linalg.norm(m.positions - before, axis=1)
+        assert np.count_nonzero(moved > 1.0) >= 18
+
+    def test_step_displacement_bounded_by_speed(self):
+        m = self.make(speed_max=3.0)
+        before = m.positions.copy()
+        m.step(1.0)
+        # Reflection can fold a step but never lengthen it.
+        assert np.all(np.linalg.norm(m.positions - before, axis=1)
+                      <= 2 * 3.0 + 1e-9)
+
+    def test_pauses_happen(self):
+        """Within a window some nodes should be pausing (zero motion)."""
+        m = self.make(n=40, seed=9, pause_min_s=5.0, pause_max_s=60.0)
+        paused_seen = False
+        prev = m.positions.copy()
+        for _ in range(100):
+            m.step(1.0)
+            still = np.linalg.norm(m.positions - prev, axis=1) < 1e-12
+            if np.any(still):
+                paused_seen = True
+                break
+            prev = m.positions.copy()
+        assert paused_seen
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            self.make(speed_min=0.0)
+        with pytest.raises(ValueError):
+            self.make(step_min_m=10.0, step_max_m=5.0)
+        with pytest.raises(ValueError):
+            self.make(step_alpha=0.0)
+
+    def test_levy_runs_in_full_simulation(self):
+        r = run_simulation(SimulationConfig(protocol="opt", seed=6,
+                                            duration_s=150.0,
+                                            n_sensors=12, n_sinks=2,
+                                            mobility_model="levy"))
+        assert r.messages_generated > 0

@@ -1,0 +1,157 @@
+"""Unit tests for the other mobility models and the manager/spatial index."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.des import EventScheduler
+from repro.mobility import (
+    Area,
+    MobilityManager,
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    StationaryMobility,
+)
+
+
+class TestStationary:
+    def test_explicit_positions(self):
+        area = Area(100, 100)
+        m = StationaryMobility([1, 2], area, positions=[(10, 20), (30, 40)])
+        assert m.position_of(1) == (10, 20)
+        assert m.position_of(2) == (30, 40)
+        m.step(5.0)
+        assert m.position_of(1) == (10, 20)
+
+    def test_random_placement_needs_rng(self):
+        area = Area(100, 100)
+        with pytest.raises(ValueError):
+            StationaryMobility([1], area)
+        m = StationaryMobility([1], area, rng=random.Random(1))
+        x, y = m.position_of(1)
+        assert area.contains(x, y)
+
+    def test_position_outside_area_rejected(self):
+        with pytest.raises(ValueError):
+            StationaryMobility([1], Area(10, 10), positions=[(50, 5)])
+
+    def test_mismatched_positions_rejected(self):
+        with pytest.raises(ValueError):
+            StationaryMobility([1, 2], Area(10, 10), positions=[(1, 1)])
+
+
+class TestRandomWalk:
+    def test_stays_in_area(self):
+        m = RandomWalkMobility(list(range(20)), Area(50, 50),
+                               random.Random(2))
+        for _ in range(500):
+            m.step(1.0)
+        assert np.all(m.positions >= 0.0)
+        assert np.all(m.positions <= 50.0)
+
+    def test_nodes_actually_move(self):
+        m = RandomWalkMobility(list(range(10)), Area(100, 100),
+                               random.Random(3), speed_min=1.0)
+        before = m.positions.copy()
+        for _ in range(10):
+            m.step(1.0)
+        moved = np.linalg.norm(m.positions - before, axis=1)
+        assert np.all(moved > 0.0)
+
+
+class TestRandomWaypoint:
+    def test_requires_positive_min_speed(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility([1], Area(10, 10), random.Random(1),
+                                   speed_min=0.0)
+
+    def test_stays_in_area_and_moves(self):
+        m = RandomWaypointMobility(list(range(10)), Area(60, 60),
+                                   random.Random(4), pause_max=2.0)
+        total = np.zeros(10)
+        for _ in range(300):
+            before = m.positions.copy()
+            m.step(1.0)
+            total += np.linalg.norm(m.positions - before, axis=1)
+        assert np.all(m.positions >= 0.0)
+        assert np.all(m.positions <= 60.0)
+        assert np.all(total > 0.0)
+
+    def test_step_displacement_bounded(self):
+        m = RandomWaypointMobility(list(range(10)), Area(60, 60),
+                                   random.Random(5), speed_max=3.0)
+        before = m.positions.copy()
+        m.step(1.0)
+        assert np.all(np.linalg.norm(m.positions - before, axis=1)
+                      <= 3.0 + 1e-9)
+
+
+class TestManager:
+    def _manager(self, positions, comm_range=10.0):
+        area = Area(100, 100)
+        sched = EventScheduler()
+        model = StationaryMobility(list(range(len(positions))), area,
+                                   positions=positions)
+        return MobilityManager(sched, area, [model],
+                               comm_range=comm_range), sched
+
+    def test_in_range_uses_euclidean_distance(self):
+        mgr, _ = self._manager([(0, 0), (6, 8), (20, 20)])
+        assert mgr.in_range(0, 1)       # distance exactly 10
+        assert not mgr.in_range(0, 2)
+
+    def test_neighbors_of_matches_brute_force(self):
+        rng = random.Random(6)
+        positions = [(rng.uniform(0, 100), rng.uniform(0, 100))
+                     for _ in range(60)]
+        mgr, _ = self._manager(positions, comm_range=15.0)
+        for i in range(60):
+            expected = {
+                j for j in range(60) if j != i
+                and math.dist(positions[i], positions[j]) <= 15.0
+            }
+            assert set(mgr.neighbors_of(i)) == expected
+
+    def test_duplicate_ids_across_models_rejected(self):
+        area = Area(100, 100)
+        sched = EventScheduler()
+        a = StationaryMobility([0], area, positions=[(1, 1)])
+        b = StationaryMobility([0], area, positions=[(2, 2)])
+        with pytest.raises(ValueError):
+            MobilityManager(sched, area, [a, b])
+
+    def test_tick_advances_models(self):
+        area = Area(100, 100)
+        sched = EventScheduler()
+        model = RandomWalkMobility([0, 1], area, random.Random(7),
+                                   speed_min=1.0)
+        mgr = MobilityManager(sched, area, [model], tick_s=1.0)
+        before = mgr.positions.copy()
+        mgr.start()
+        sched.run_until(10.0)
+        assert not np.allclose(before, mgr.positions)
+
+    def test_index_refreshed_after_movement(self):
+        area = Area(100, 100)
+        sched = EventScheduler()
+
+        class Teleport(StationaryMobility):
+            def step(self, dt):
+                self.positions[0] = (99.0, 99.0)
+
+        model = Teleport([0, 1], area, positions=[(0, 0), (1, 0)])
+        mgr = MobilityManager(sched, area, [model], comm_range=5.0)
+        assert mgr.in_range(0, 1)
+        mgr.step(1.0)
+        assert not mgr.in_range(0, 1)
+        assert list(mgr.neighbors_of(1)) == []
+
+    def test_start_is_idempotent(self):
+        mgr, sched = self._manager([(0, 0), (1, 1)])
+        mgr.start()
+        mgr.start()
+        sched.run_until(3.5)
+        # One tick chain only: events at t=1,2,3.
+        assert sched.events_fired == 3

@@ -1,0 +1,137 @@
+"""Unit + property tests for the paper's zone-grid mobility model."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import Area, ZoneGridMobility
+
+
+def make(n=20, seed=1, **kw):
+    area = Area(150.0, 150.0)
+    rng = random.Random(seed)
+    return ZoneGridMobility(list(range(n)), area, rng, **kw)
+
+
+class TestSetup:
+    def test_paper_geometry(self):
+        m = make()
+        assert m.zones_per_side == 5
+        assert m.zone_w == pytest.approx(30.0)
+        assert m.zone_h == pytest.approx(30.0)
+
+    def test_initial_positions_inside_area(self):
+        m = make(n=50)
+        assert np.all(m.positions >= 0.0)
+        assert np.all(m.positions <= 150.0)
+
+    def test_home_zone_is_initial_zone(self):
+        m = make(n=30)
+        for i in range(30):
+            assert m.home_zones[i] == m.zone_of(m.positions[i, 0],
+                                                m.positions[i, 1])
+            assert m.current_zones[i] == m.home_zones[i]
+
+    def test_zone_of_boundaries(self):
+        m = make()
+        assert m.zone_of(0.0, 0.0) == (0, 0)
+        assert m.zone_of(149.999, 149.999) == (4, 4)
+        assert m.zone_of(150.0, 150.0) == (4, 4)  # clamped at the edge
+        assert m.zone_of(30.0, 0.0) == (1, 0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make(zones_per_side=0)
+        with pytest.raises(ValueError):
+            make(exit_probability=1.5)
+        with pytest.raises(ValueError):
+            make(speed_min=3.0, speed_max=1.0)
+
+
+class TestStepping:
+    def test_positions_stay_in_area_over_time(self):
+        m = make(n=40, seed=7)
+        for _ in range(500):
+            m.step(1.0)
+        assert np.all(m.positions >= 0.0)
+        assert np.all(m.positions <= 150.0)
+
+    def test_current_zone_tracks_position(self):
+        m = make(n=40, seed=3)
+        for _ in range(200):
+            m.step(1.0)
+        for i in range(40):
+            assert m.current_zones[i] == m.zone_of(m.positions[i, 0],
+                                                   m.positions[i, 1])
+
+    def test_displacement_bounded_by_speed(self):
+        m = make(n=30, seed=5, speed_max=5.0)
+        before = m.positions.copy()
+        m.step(1.0)
+        dist = np.linalg.norm(m.positions - before, axis=1)
+        assert np.all(dist <= 5.0 + 1e-9)
+
+    def test_zero_exit_probability_confines_to_home_zone(self):
+        m = make(n=30, seed=9, exit_probability=0.0)
+        for _ in range(300):
+            m.step(1.0)
+        for i in range(30):
+            assert m.current_zones[i] == m.home_zones[i]
+
+    def test_full_exit_probability_lets_nodes_roam(self):
+        m = make(n=30, seed=11, exit_probability=1.0)
+        visited = [set() for _ in range(30)]
+        for _ in range(400):
+            m.step(1.0)
+            for i in range(30):
+                visited[i].add(m.current_zones[i])
+        # Most nodes should have left home at some point.
+        roamers = sum(1 for v in visited if len(v) > 1)
+        assert roamers > 20
+
+    def test_nodes_do_return_home(self):
+        m = make(n=30, seed=13, exit_probability=0.3)
+        away = set()
+        returned = set()
+        for _ in range(1500):
+            m.step(1.0)
+            for i in range(30):
+                if m.current_zones[i] != m.home_zones[i]:
+                    away.add(i)
+                elif i in away:
+                    returned.add(i)
+        assert returned, "no wanderer ever returned home"
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            make().step(0.0)
+
+
+class TestHomeAffinity:
+    def test_home_zone_dwell_far_exceeds_uniform(self):
+        """The 20%-exit / always-return rule creates strong home affinity:
+        home dwell should be an order of magnitude above the 1/25 a
+        uniform wanderer would show."""
+        m = make(n=25, seed=17)
+        at_home = 0
+        total = 0
+        for _ in range(1000):
+            m.step(1.0)
+            for i in range(25):
+                total += 1
+                if m.current_zones[i] == m.home_zones[i]:
+                    at_home += 1
+        assert at_home / total > 0.3
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_zone_of_always_valid(self, raw):
+        m = make(n=2)
+        x = (raw % 1500) / 10.0
+        y = ((raw * 7) % 1500) / 10.0
+        zx, zy = m.zone_of(x, y)
+        assert 0 <= zx < 5 and 0 <= zy < 5

@@ -1,0 +1,119 @@
+"""Focused tests of MAC details: NAV, collision feedback, dedup rule."""
+
+import pytest
+
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import AgentState, CrossLayerAgent, SinkAgent
+from repro.radio.frames import Rts, Schedule
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+from test_protocol_integration import World  # noqa: E402
+
+NOSLEEP = ProtocolParameters.nosleep()
+
+
+class TestDuplicateRule:
+    def test_holder_of_message_declines_rts(self):
+        w = World([(0, 0), (8, 0)], [CrossLayerAgent, CrossLayerAgent],
+                  params=NOSLEEP)
+        receiver = w.agents[0]
+        receiver.estimator.on_transmission([1.0])  # would otherwise qualify
+        msg = w.inject(w.agents[1])
+        # Give the receiver a copy of the same message directly.
+        from repro.core.message import MessageCopy
+        receiver.queue.insert(MessageCopy(msg, ftd=0.0))
+        ok, slots = receiver.evaluate_rts(
+            Rts(1, xi=0.0, ftd=0.0, message_id=msg.message_id))
+        assert not ok
+
+    def test_nonholder_qualifies(self):
+        w = World([(0, 0), (8, 0)], [CrossLayerAgent, CrossLayerAgent],
+                  params=NOSLEEP)
+        receiver = w.agents[0]
+        receiver.estimator.on_transmission([1.0])
+        ok, slots = receiver.evaluate_rts(
+            Rts(1, xi=0.0, ftd=0.0, message_id=12345))
+        assert ok and slots > 0
+
+    def test_repeated_contact_does_not_inflate_ftd(self):
+        """A sender stuck next to one relay transfers once, then stalls —
+        its copy's FTD must not creep to the drop threshold."""
+        w = World([(0, 0), (8, 0)], [CrossLayerAgent, CrossLayerAgent],
+                  params=NOSLEEP)
+        relay, sender = w.agents[0], w.agents[1]
+        relay.estimator.on_transmission([1.0])
+        w.start()
+        msg = w.inject(sender)
+        w.run(300.0)
+        # Exactly one transfer happened; the sender still holds its copy
+        # at the single-relay FTD (Eq. 3 with one receiver).
+        assert sender.stats.multicasts_confirmed == 1
+        copy = next(iter(sender.queue), None)
+        assert copy is not None
+        assert copy.ftd < 0.5
+
+
+class TestCollisionFeedback:
+    def test_responder_hint_doubles_on_collision_only_window(self):
+        w = World([(0, 0), (5, 0)], [SinkAgent, CrossLayerAgent],
+                  params=NOSLEEP)
+        agent = w.agents[1]
+        assert agent._responder_hint == 0
+        agent.state = AgentState.AWAIT_CTS
+        agent._head = None
+        agent._cts_window_collisions = 2
+        agent._candidates = []
+        agent._cts_window_done()
+        # head was None -> fail path without hint change; now simulate
+        # the hint path properly:
+        from repro.core.message import DataMessage, MessageCopy
+        agent.state = AgentState.AWAIT_CTS
+        agent._head = MessageCopy(DataMessage(77, 1, 0.0))
+        agent._cts_window_collisions = 1
+        agent._candidates = []
+        agent._cts_window_done()
+        assert agent._responder_hint == 2
+        # And doubles on the next all-collision window, capped at 8.
+        for _ in range(5):
+            agent.state = AgentState.AWAIT_CTS
+            agent._head = MessageCopy(DataMessage(78, 1, 0.0))
+            agent._cts_window_collisions = 1
+            agent._candidates = []
+            agent._cts_window_done()
+        assert agent._responder_hint == 8
+
+    def test_hint_resets_after_successful_window(self):
+        w = World([(0, 0), (5, 0), (0, 5)],
+                  [SinkAgent, CrossLayerAgent, CrossLayerAgent],
+                  params=NOSLEEP)
+        w.start()
+        w.inject(w.agents[1])
+        w.inject(w.agents[2])
+        w.run(120.0)
+        # Both delivered eventually despite early CTS collisions.
+        assert w.collector.messages_delivered == 2
+        for agent in w.agents[1:]:
+            assert agent._responder_hint in (0, 2, 4, 8)
+
+
+class TestNav:
+    def test_overheard_schedule_sets_nav(self):
+        w = World([(0, 0), (5, 0)], [CrossLayerAgent, CrossLayerAgent],
+                  params=NOSLEEP)
+        agent = w.agents[0]
+        before = agent._nav_until
+        sched_frame = Schedule(9, receiver_order=(7, 8),
+                               assignments={7: 0.1, 8: 0.1}, message_id=3)
+        agent._on_schedule(sched_frame)
+        assert agent._nav_until > before
+
+    def test_nav_disabled_by_parameter(self):
+        params = ProtocolParameters.nosleep(nav_enabled=False)
+        w = World([(0, 0), (5, 0)], [CrossLayerAgent, CrossLayerAgent],
+                  params=params)
+        agent = w.agents[0]
+        agent._update_nav(100.0)
+        assert agent._nav_until == 0.0

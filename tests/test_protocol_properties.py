@@ -1,0 +1,103 @@
+"""Property-based tests: the protocol stack on randomized small worlds.
+
+These catch state-machine violations (crashes, stuck radios, double
+transmissions, negative energy) that unit scenarios miss.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SimulationConfig, Simulation
+from repro.core.protocol import AgentState
+from repro.radio.states import RadioState
+
+
+protocols = st.sampled_from(["opt", "noopt", "nosleep", "zbr", "epidemic"])
+
+
+@given(
+    protocol=protocols,
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_sensors=st.integers(min_value=2, max_value=25),
+    n_sinks=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=12, deadline=None)
+def test_random_worlds_run_clean(protocol, seed, n_sensors, n_sinks):
+    sim = Simulation(SimulationConfig(
+        protocol=protocol, seed=seed, duration_s=150.0,
+        n_sensors=n_sensors, n_sinks=n_sinks,
+    ))
+    result = sim.run()
+
+    # Conservation: every delivery corresponds to a generated message.
+    assert result.messages_delivered <= result.messages_generated
+    assert set(sim.collector.deliveries) <= set(sim.collector.generated)
+
+    # Delays are causal.
+    for record in sim.collector.deliveries.values():
+        assert record.delivered_at >= record.created_at
+        assert record.hops >= 1
+
+    # Energy accounting is sane.  (A radio may legitimately be cut off
+    # mid-frame by the simulation horizon, so TRANSMITTING is allowed.)
+    for node in sim.sensors:
+        node.radio.finalize()
+        meter = node.radio.meter
+        assert meter.consumed_mj >= 0.0
+        total_time = sum(meter.per_state_s.values())
+        assert abs(total_time - 150.0) < 1e-6
+        # Power bounded by the transmit draw plus switching overhead.
+        assert meter.consumed_mj <= 150.0 * 24.75 + \
+            (meter.switches + 1) * meter.profile.switch_energy_mj
+
+    # Queue invariants hold at the end of the run.
+    for node in sim.sensors:
+        ftds = [c.ftd for c in node.queue]
+        assert ftds == sorted(ftds)
+        assert len(node.queue) <= node.queue.capacity
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=6, deadline=None)
+def test_sleeping_agents_never_receive(seed):
+    """A sleeping radio must never decode frames (half-duplex + LPL)."""
+    sim = Simulation(SimulationConfig(
+        protocol="opt", seed=seed, duration_s=120.0,
+        n_sensors=10, n_sinks=1,
+    ))
+    original_deliver = {}
+
+    for node in sim.sensors:
+        radio = node.radio
+
+        def make_guard(r):
+            inner = r.deliver
+
+            def guarded(frame):
+                assert r.state is not RadioState.SLEEPING
+                inner(frame)
+            return guarded
+
+        original_deliver[radio.node_id] = radio.deliver
+        radio.deliver = make_guard(radio)
+
+    sim.run()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=6, deadline=None)
+def test_agents_end_in_consistent_state(seed):
+    sim = Simulation(SimulationConfig(
+        protocol="opt", seed=seed, duration_s=100.0,
+        n_sensors=8, n_sinks=1,
+    ))
+    sim.run()
+    for node in sim.sensors:
+        agent = node.agent
+        # Sleeping agents have sleeping radios and vice versa.
+        if agent.state is AgentState.SLEEP:
+            assert node.radio.state is RadioState.SLEEPING
+        else:
+            assert node.radio.state is not RadioState.SLEEPING

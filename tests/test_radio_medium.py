@@ -1,0 +1,201 @@
+"""Integration tests for the wireless medium + transceivers.
+
+Uses a stationary topology so the collision/carrier-sense behaviour is
+fully deterministic.
+"""
+
+import pytest
+
+from repro.des import EventScheduler
+from repro.energy import BERKELEY_MOTE
+from repro.mobility import Area, MobilityManager, StationaryMobility
+from repro.radio import ChannelTiming, Preamble, RadioState, Transceiver, WirelessMedium
+from repro.radio.transceiver import RadioError
+
+
+def build(positions, comm_range=10.0):
+    """A medium with one stationary radio per position."""
+    sched = EventScheduler()
+    area = Area(1000.0, 1000.0)
+    model = StationaryMobility(list(range(len(positions))), area,
+                               positions=positions)
+    mgr = MobilityManager(sched, area, [model], comm_range=comm_range)
+    medium = WirelessMedium(sched, ChannelTiming(), mgr)
+    radios = [Transceiver(i, medium, sched, BERKELEY_MOTE)
+              for i in range(len(positions))]
+    return sched, medium, radios
+
+
+def collect(radio):
+    frames = []
+    radio.on_frame = frames.append
+    return frames
+
+
+class TestDelivery:
+    def test_in_range_listener_receives_frame(self):
+        sched, medium, (a, b) = build([(0, 0), (5, 0)])
+        got = collect(b)
+        a.transmit(Preamble(0))
+        sched.run_until(1.0)
+        assert len(got) == 1
+        assert got[0].src == 0
+        assert medium.stats.frames_delivered == 1
+
+    def test_out_of_range_listener_hears_nothing(self):
+        sched, medium, (a, b) = build([(0, 0), (50, 0)])
+        got = collect(b)
+        a.transmit(Preamble(0))
+        sched.run_until(1.0)
+        assert got == []
+
+    def test_sleeping_listener_misses_frame(self):
+        sched, medium, (a, b) = build([(0, 0), (5, 0)])
+        got = collect(b)
+        b.sleep()
+        a.transmit(Preamble(0))
+        sched.run_until(1.0)
+        assert got == []
+
+    def test_airtime_matches_timing(self):
+        sched, medium, (a, b) = build([(0, 0), (5, 0)])
+        duration = a.transmit(Preamble(0))
+        assert duration == pytest.approx(ChannelTiming().control_airtime_s)
+
+    def test_delivery_waits_for_frame_end(self):
+        sched, medium, (a, b) = build([(0, 0), (5, 0)])
+        arrival = []
+        b.on_frame = lambda f: arrival.append(sched.now)
+        a.transmit(Preamble(0))
+        sched.run_until(1.0)
+        assert arrival == [pytest.approx(0.005)]
+
+    def test_receiver_that_falls_asleep_mid_frame_misses_it(self):
+        sched, medium, (a, b) = build([(0, 0), (5, 0)])
+        got = collect(b)
+        a.transmit(Preamble(0))
+        sched.schedule(0.002, b.sleep)
+        sched.run_until(1.0)
+        assert got == []
+
+
+class TestCollisions:
+    def test_overlapping_frames_corrupt_each_other(self):
+        # a and c both in range of b; simultaneous transmissions collide.
+        sched, medium, (a, b, c) = build([(0, 0), (5, 0), (10, 0)])
+        got = collect(b)
+        a.transmit(Preamble(0))
+        c.transmit(Preamble(2))
+        sched.run_until(1.0)
+        assert got == []
+        assert medium.stats.frames_corrupted == 2
+        assert b.collisions_heard == 2
+
+    def test_partial_overlap_also_collides(self):
+        sched, medium, (a, b, c) = build([(0, 0), (5, 0), (10, 0)])
+        got = collect(b)
+        a.transmit(Preamble(0))
+        sched.schedule(0.003, lambda: c.transmit(Preamble(2)))
+        sched.run_until(1.0)
+        assert got == []
+
+    def test_hidden_terminal_corrupts_only_at_shared_receiver(self):
+        # a --- b --- c with a and c mutually out of range: both transmit,
+        # b hears garbage, but a fourth node near only a decodes fine.
+        sched, medium, radios = build(
+            [(0, 0), (8, 0), (16, 0), (0, 5)], comm_range=10.0)
+        a, b, c, d = radios
+        got_b = collect(b)
+        got_d = collect(d)
+        a.transmit(Preamble(0))
+        c.transmit(Preamble(2))
+        sched.run_until(1.0)
+        assert got_b == []          # collision at b
+        assert len(got_d) == 1      # d only hears a
+        assert got_d[0].src == 0
+
+    def test_sequential_frames_do_not_collide(self):
+        sched, medium, (a, b, c) = build([(0, 0), (5, 0), (10, 0)])
+        got = collect(b)
+        a.transmit(Preamble(0))
+        sched.schedule(0.05, lambda: c.transmit(Preamble(2)))
+        sched.run_until(1.0)
+        assert [f.src for f in got] == [0, 2]
+        assert medium.stats.frames_corrupted == 0
+
+
+class TestCarrierSense:
+    def test_channel_busy_during_neighbor_transmission(self):
+        sched, medium, (a, b) = build([(0, 0), (5, 0)])
+        a.transmit(Preamble(0))
+        assert b.channel_busy()
+        sched.run_until(1.0)
+        assert not b.channel_busy()
+
+    def test_channel_clear_when_transmitter_out_of_range(self):
+        sched, medium, (a, b) = build([(0, 0), (50, 0)])
+        a.transmit(Preamble(0))
+        assert not b.channel_busy()
+
+    def test_busy_even_for_node_that_woke_mid_frame(self):
+        sched, medium, (a, b) = build([(0, 0), (5, 0)])
+        b.sleep()
+        a.transmit(Preamble(0))
+        b.wake()
+        assert b.channel_busy()
+
+    def test_carrier_sense_while_asleep_rejected(self):
+        _, _, (a, b) = build([(0, 0), (5, 0)])
+        b.sleep()
+        with pytest.raises(RadioError):
+            b.channel_busy()
+
+
+class TestRadioStateMachine:
+    def test_transmit_returns_to_listening(self):
+        sched, _, (a, b) = build([(0, 0), (5, 0)])
+        done = []
+        a.transmit(Preamble(0), on_done=lambda: done.append(sched.now))
+        assert a.state is RadioState.TRANSMITTING
+        sched.run_until(1.0)
+        assert a.state is RadioState.LISTENING
+        assert done == [pytest.approx(0.005)]
+
+    def test_cannot_transmit_while_asleep_or_busy(self):
+        sched, _, (a, b) = build([(0, 0), (5, 0)])
+        a.sleep()
+        with pytest.raises(RadioError):
+            a.transmit(Preamble(0))
+        a.wake()
+        a.transmit(Preamble(0))
+        with pytest.raises(RadioError):
+            a.transmit(Preamble(0))
+
+    def test_cannot_sleep_mid_transmission(self):
+        sched, _, (a, b) = build([(0, 0), (5, 0)])
+        a.transmit(Preamble(0))
+        with pytest.raises(RadioError):
+            a.sleep()
+
+    def test_half_duplex_transmitter_misses_concurrent_frame(self):
+        sched, _, (a, b, c) = build([(0, 0), (5, 0), (10, 0)])
+        got_a = collect(a)
+        a.transmit(Preamble(0))
+        c.transmit(Preamble(2))
+        sched.run_until(1.0)
+        assert got_a == []
+
+    def test_energy_charged_for_transmission(self):
+        sched, _, (a, b) = build([(0, 0), (5, 0)])
+        a.transmit(Preamble(0))
+        sched.run_until(10.0)
+        a.finalize()
+        tx_time = a.meter.per_state_s[RadioState.TRANSMITTING]
+        assert tx_time == pytest.approx(0.005)
+        assert a.meter.per_state_mj[RadioState.TRANSMITTING] == pytest.approx(
+            24.75 * 0.005)
+
+    def test_duplicate_node_id_rejected(self):
+        sched, medium, radios = build([(0, 0), (5, 0)])
+        with pytest.raises(ValueError):
+            Transceiver(0, medium, sched, BERKELEY_MOTE)

@@ -1,0 +1,88 @@
+"""Unit tests for channel timing and frame types."""
+
+import pytest
+
+from repro.radio import (
+    Ack,
+    ChannelTiming,
+    Cts,
+    DataFrame,
+    FrameKind,
+    Preamble,
+    Rts,
+    Schedule,
+)
+
+
+class TestChannelTiming:
+    def test_paper_airtimes(self):
+        t = ChannelTiming()  # 10 kbps, 50-bit control, 1000-bit data
+        assert t.control_airtime_s == pytest.approx(0.005)
+        assert t.data_airtime_s == pytest.approx(0.1)
+
+    def test_slots_include_processing(self):
+        t = ChannelTiming(processing_s=0.002)
+        assert t.cts_slot_s == pytest.approx(t.control_airtime_s + 0.002)
+        assert t.listen_slot_s == pytest.approx(t.control_airtime_s + 0.002)
+        assert t.t_ack_s == pytest.approx(t.control_airtime_s + 0.002)
+
+    def test_airtime_scales_with_size(self):
+        t = ChannelTiming(bandwidth_bps=1000)
+        assert t.airtime_s(500) == pytest.approx(0.5)
+
+    def test_schedule_grows_with_receivers(self):
+        t = ChannelTiming()
+        assert t.schedule_bits(0) == t.control_bits
+        assert t.schedule_bits(3) == t.control_bits + 96
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTiming(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            ChannelTiming(control_bits=0)
+        with pytest.raises(ValueError):
+            ChannelTiming(processing_s=-1)
+
+
+class TestFrames:
+    def test_kinds(self):
+        assert Preamble(1).kind is FrameKind.PREAMBLE
+        assert Rts(1).kind is FrameKind.RTS
+        assert Cts(1, dst=2).kind is FrameKind.CTS
+        assert Schedule(1).kind is FrameKind.SCHEDULE
+        assert DataFrame(1).kind is FrameKind.DATA
+        assert Ack(1, dst=2).kind is FrameKind.ACK
+
+    def test_control_frames_use_control_size(self):
+        assert Preamble(1).size_bits(50) == 50
+        assert Rts(1, xi=0.4, ftd=0.2, window_slots=6).size_bits(50) == 50
+        assert Cts(1, dst=2).size_bits(50) == 50
+        assert Ack(1, dst=2).size_bits(50) == 50
+
+    def test_data_frame_uses_payload_size(self):
+        frame = DataFrame(1, payload_bits=1000)
+        assert frame.size_bits(50) == 1000
+
+    def test_schedule_size_counts_receivers(self):
+        sched = Schedule(1, receiver_order=(2, 3), assignments={2: 0.1, 3: 0.2})
+        assert sched.size_bits(50) == 50 + 64
+
+    def test_schedule_ack_slots_follow_order(self):
+        sched = Schedule(1, receiver_order=(9, 4, 7),
+                         assignments={9: 0.0, 4: 0.0, 7: 0.0})
+        assert sched.ack_slot_of(9) == 1
+        assert sched.ack_slot_of(4) == 2
+        assert sched.ack_slot_of(7) == 3
+        with pytest.raises(ValueError):
+            sched.ack_slot_of(5)
+
+    def test_rts_carries_cross_layer_fields(self):
+        rts = Rts(3, xi=0.42, ftd=0.17, window_slots=12)
+        assert rts.xi == 0.42
+        assert rts.ftd == 0.17
+        assert rts.window_slots == 12
+
+    def test_frames_are_immutable(self):
+        rts = Rts(1, xi=0.5)
+        with pytest.raises(AttributeError):
+            rts.xi = 0.9  # type: ignore[misc]

@@ -1,0 +1,137 @@
+"""End-to-end tests of the full simulation stack (short horizons)."""
+
+import pytest
+
+from repro import SimulationConfig, Simulation, run_simulation
+
+
+SHORT = dict(duration_s=400.0, n_sensors=30, n_sinks=2)
+
+
+class TestEndToEnd:
+    def test_opt_run_produces_sane_metrics(self):
+        r = run_simulation(SimulationConfig(protocol="opt", seed=11, **SHORT))
+        assert r.messages_generated > 0
+        assert 0.0 <= r.delivery_ratio <= 1.0
+        assert r.transmissions > 0
+        assert 0.0 < r.average_power_mw < 30.0
+        if r.average_delay_s is not None:
+            assert 0.0 < r.average_delay_s < SHORT["duration_s"]
+
+    def test_every_protocol_runs(self):
+        for protocol in ("opt", "noopt", "nosleep", "zbr", "direct",
+                         "epidemic"):
+            r = run_simulation(SimulationConfig(protocol=protocol, seed=5,
+                                                duration_s=200.0,
+                                                n_sensors=20, n_sinks=2))
+            assert r.messages_generated > 0, protocol
+            assert 0.0 <= r.delivery_ratio <= 1.0, protocol
+
+    def test_deterministic_given_seed(self):
+        a = run_simulation(SimulationConfig(protocol="opt", seed=42, **SHORT))
+        b = run_simulation(SimulationConfig(protocol="opt", seed=42, **SHORT))
+        assert a.messages_generated == b.messages_generated
+        assert a.messages_delivered == b.messages_delivered
+        assert a.transmissions == b.transmissions
+        assert a.average_power_mw == pytest.approx(b.average_power_mw)
+
+    def test_different_seeds_differ(self):
+        a = run_simulation(SimulationConfig(protocol="opt", seed=1, **SHORT))
+        b = run_simulation(SimulationConfig(protocol="opt", seed=2, **SHORT))
+        assert (a.messages_generated, a.transmissions) != (
+            b.messages_generated, b.transmissions)
+
+    def test_deliveries_never_exceed_generations(self):
+        r = run_simulation(SimulationConfig(protocol="epidemic", seed=3,
+                                            duration_s=300.0,
+                                            n_sensors=25, n_sinks=3))
+        assert r.messages_delivered <= r.messages_generated
+
+    def test_nosleep_power_is_idle_dominated(self):
+        r = run_simulation(SimulationConfig(protocol="nosleep", seed=7,
+                                            duration_s=200.0,
+                                            n_sensors=15, n_sinks=1))
+        # Never sleeping means >= idle power, plus a little transmit.
+        assert r.average_power_mw >= 13.0
+
+    def test_opt_power_well_below_nosleep(self):
+        opt = run_simulation(SimulationConfig(protocol="opt", seed=7,
+                                              duration_s=600.0,
+                                              n_sensors=15, n_sinks=1))
+        assert opt.average_power_mw < 13.5 * 0.5
+
+    def test_energy_conservation_against_duration(self):
+        r = run_simulation(SimulationConfig(protocol="nosleep", seed=9,
+                                            duration_s=150.0,
+                                            n_sensors=10, n_sinks=1))
+        # No node can draw more than max(tx) continuously.
+        assert all(p <= 24.75 + 1e-6 for p in r.per_node_power_mw)
+
+    def test_result_serialization(self):
+        r = run_simulation(SimulationConfig(protocol="opt", seed=1,
+                                            duration_s=150.0,
+                                            n_sensors=10, n_sinks=1))
+        d = r.to_dict()
+        assert d["protocol"] == "opt"
+        assert d["generated"] == r.messages_generated
+        assert isinstance(d["delivery_ratio"], float)
+
+    def test_transmissions_per_delivery_overhead(self):
+        r = run_simulation(SimulationConfig(protocol="opt", seed=13,
+                                            duration_s=500.0,
+                                            n_sensors=25, n_sinks=3))
+        overhead = r.transmissions_per_delivery()
+        if r.messages_delivered:
+            assert overhead is not None and overhead >= 1.0
+        else:
+            assert overhead is None
+
+
+class TestTopologyKnobs:
+    def test_grid_sink_placement(self):
+        sim = Simulation(SimulationConfig(protocol="opt", seed=1,
+                                          duration_s=50.0, n_sinks=4,
+                                          n_sensors=10,
+                                          sink_placement="grid"))
+        xs = sorted(sim.mobility.position_of(i)[0] for i in range(4))
+        assert xs[0] == pytest.approx(37.5)
+        assert xs[-1] == pytest.approx(112.5)
+
+    def test_alternative_mobility_models_run(self):
+        for model in ("walk", "waypoint"):
+            r = run_simulation(SimulationConfig(protocol="opt", seed=2,
+                                                duration_s=150.0,
+                                                n_sensors=15, n_sinks=2,
+                                                mobility_model=model))
+            assert r.messages_generated > 0
+
+    def test_mobile_sinks_run(self):
+        r = run_simulation(SimulationConfig(protocol="opt", seed=4,
+                                            duration_s=200.0,
+                                            n_sensors=15, n_sinks=2,
+                                            sink_mobility="mobile"))
+        assert r.messages_generated > 0
+        assert 0.0 <= r.delivery_ratio <= 1.0
+
+    def test_mobile_sink_positions_change(self):
+        sim = Simulation(SimulationConfig(protocol="opt", seed=4,
+                                          duration_s=100.0,
+                                          n_sensors=10, n_sinks=2,
+                                          sink_mobility="mobile"))
+        before = [sim.mobility.position_of(i) for i in range(2)]
+        sim.run()
+        after = [sim.mobility.position_of(i) for i in range(2)]
+        assert before != after
+
+    def test_invalid_sink_mobility_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(sink_mobility="jetpack")
+
+    def test_more_sinks_do_not_hurt_delivery(self):
+        few = run_simulation(SimulationConfig(protocol="nosleep", seed=21,
+                                              duration_s=800.0,
+                                              n_sensors=40, n_sinks=1))
+        many = run_simulation(SimulationConfig(protocol="nosleep", seed=21,
+                                               duration_s=800.0,
+                                               n_sensors=40, n_sinks=8))
+        assert many.delivery_ratio >= few.delivery_ratio

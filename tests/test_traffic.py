@@ -1,0 +1,111 @@
+"""Unit tests for the traffic generators."""
+
+import random
+
+import pytest
+
+from repro.des import EventScheduler
+from repro.traffic import BurstTraffic, PeriodicTraffic, PoissonTraffic
+
+
+class TestPoisson:
+    def test_mean_interval_approximates_parameter(self):
+        sched = EventScheduler()
+        times = []
+        gen = PoissonTraffic(sched, lambda: times.append(sched.now),
+                             random.Random(1), mean_interval_s=120.0)
+        gen.start()
+        sched.run_until(200_000.0)
+        assert len(times) > 1000
+        intervals = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(intervals) / len(intervals)
+        assert mean == pytest.approx(120.0, rel=0.1)
+
+    def test_stop_time_halts_generation(self):
+        sched = EventScheduler()
+        times = []
+        gen = PoissonTraffic(sched, lambda: times.append(sched.now),
+                             random.Random(2), mean_interval_s=10.0,
+                             stop_time=100.0)
+        gen.start()
+        sched.run_until(1000.0)
+        assert times
+        assert all(t <= 100.0 for t in times)
+
+    def test_stop_method_halts(self):
+        sched = EventScheduler()
+        count = []
+        gen = PoissonTraffic(sched, lambda: count.append(1),
+                             random.Random(3), mean_interval_s=1.0)
+        gen.start()
+        sched.run_until(10.0)
+        seen = len(count)
+        gen.stop()
+        sched.run_until(100.0)
+        assert len(count) == seen
+
+    def test_start_idempotent(self):
+        sched = EventScheduler()
+        count = []
+        gen = PoissonTraffic(sched, lambda: count.append(1),
+                             random.Random(4), mean_interval_s=5.0)
+        gen.start()
+        gen.start()
+        sched.run_until(50.0)
+        assert gen.generated == len(count)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(EventScheduler(), lambda: None,
+                           random.Random(0), mean_interval_s=0.0)
+
+
+class TestPeriodic:
+    def test_fixed_period(self):
+        sched = EventScheduler()
+        times = []
+        gen = PeriodicTraffic(sched, lambda: times.append(sched.now),
+                              period_s=10.0)
+        gen.start()
+        sched.run_until(45.0)
+        assert times == [10.0, 20.0, 30.0, 40.0]
+
+    def test_random_phase_shifts_first_arrival(self):
+        sched = EventScheduler()
+        times = []
+        gen = PeriodicTraffic(sched, lambda: times.append(sched.now),
+                              period_s=10.0, rng=random.Random(5))
+        gen.start()
+        sched.run_until(25.0)
+        assert 0.0 <= times[0] <= 10.0
+        assert times[1] - times[0] == pytest.approx(10.0)
+
+
+class TestBurst:
+    def test_bursts_have_configured_size(self):
+        sched = EventScheduler()
+        times = []
+        gen = BurstTraffic(sched, lambda: times.append(sched.now),
+                           random.Random(6), mean_gap_s=100.0,
+                           burst_size=4, intra_burst_s=1.0)
+        gen.start()
+        sched.run_until(5000.0)
+        assert len(times) >= 8
+        # Split into bursts: gaps of 1 s inside, larger between.
+        bursts = [[times[0]]]
+        for prev, cur in zip(times, times[1:]):
+            if cur - prev <= 1.0 + 1e-9:
+                bursts[-1].append(cur)
+            else:
+                bursts.append([cur])
+        complete = [b for b in bursts[:-1]]
+        assert complete
+        # An exponential gap can occasionally be <= 1 s, merging two
+        # bursts, so sizes are multiples of 4 with 4 the common case.
+        assert all(len(b) % 4 == 0 for b in complete)
+        assert sum(1 for b in complete if len(b) == 4) >= len(complete) * 0.8
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BurstTraffic(EventScheduler(), lambda: None, random.Random(0),
+                         burst_size=0)
