@@ -1,0 +1,54 @@
+"""Runner-backend bench: serial vs process-pool wall clock.
+
+Runs a small fig2a slice (OPT only, two sink counts) through both
+execution backends, prints the measured wall clocks and speedup, and
+asserts the invariant that actually matters: both backends produce
+identical aggregate numbers for identical seeds.  The speedup itself is
+reported, not asserted — it depends on the machine's core count (on a
+single core the pool's fork/IPC overhead makes it a slowdown).
+"""
+
+import json
+import os
+import time
+
+from repro.harness import ProcessPoolRunner, SerialRunner, sweep
+from repro.harness.experiment import vary_sinks
+from repro.network.config import SimulationConfig
+
+
+def _slice_config(duration):
+    return SimulationConfig(protocol="opt", duration_s=duration)
+
+
+def _run(runner, duration, replicates, sink_counts):
+    started = time.perf_counter()
+    table = sweep(_slice_config(duration), "n_sinks", list(sink_counts),
+                  vary_sinks, replicates=replicates, runner=runner)
+    return table, time.perf_counter() - started
+
+
+def _summaries(table):
+    return json.dumps({str(k): v.summary() for k, v in table.items()},
+                      sort_keys=True)
+
+
+def test_runner_serial_vs_parallel(bench_replicates, bench_sink_counts):
+    duration = float(os.environ.get("REPRO_BENCH_RUNNER_DURATION", 300.0))
+    workers = int(os.environ.get("REPRO_BENCH_RUNNER_WORKERS", 2))
+    sink_counts = bench_sink_counts[:2]
+
+    serial_table, serial_s = _run(SerialRunner(), duration,
+                                  bench_replicates, sink_counts)
+    pool_table, pool_s = _run(ProcessPoolRunner(max_workers=workers),
+                              duration, bench_replicates, sink_counts)
+
+    print()
+    print(f"runner bench: fig2a slice (opt, sinks={sink_counts}, "
+          f"duration={duration:.0f}s, replicates={bench_replicates})")
+    print(f"  serial               {serial_s:8.2f} s")
+    print(f"  pool ({workers} workers)     {pool_s:8.2f} s")
+    print(f"  speedup              {serial_s / pool_s:8.2f}x "
+          f"({os.cpu_count()} cores available)")
+
+    assert _summaries(serial_table) == _summaries(pool_table)

@@ -73,6 +73,20 @@ def rts_collision_probability(sigmas: Sequence[int]) -> float:
     return min(1.0, max(0.0, gamma))
 
 
+#: Tolerance of the threshold comparisons below.  ``gamma`` values that
+#: are mathematically equal can differ by ~1e-16 depending on the sigma
+#: vector they were computed from (e.g. [5, 3] and [5, 4] both give
+#: exactly 1/5); comparing against ``threshold`` exactly then classifies
+#: equal values inconsistently across tau_max, which breaks the
+#: agreement between the linear and binary searches.
+_THRESHOLD_EPS = 1e-9
+
+
+def _satisfies(gamma: float, threshold: float) -> bool:
+    """Round-off-tolerant ``gamma <= threshold`` test."""
+    return gamma <= threshold + _THRESHOLD_EPS
+
+
 def min_tau_max(
     xis: Sequence[float],
     threshold: float,
@@ -92,7 +106,7 @@ def min_tau_max(
         return 1  # alone in the cell: no contention at all
     for tau_max in range(1, tau_cap + 1):
         sigmas = [sigma_slots(xi, tau_max) for xi in xis]
-        if rts_collision_probability(sigmas) <= threshold:
+        if _satisfies(rts_collision_probability(sigmas), threshold):
             return tau_max
     return tau_cap
 
@@ -122,17 +136,22 @@ def min_tau_max_fast(
         return rts_collision_probability(
             [sigma_slots(xi, tau_max) for xi in xis])
 
-    if gamma(tau_cap) > threshold:
+    if not _satisfies(gamma(tau_cap), threshold):
         return tau_cap
     lo, hi = 1, 1
-    while gamma(hi) > threshold:
+    while not _satisfies(gamma(hi), threshold):
         lo, hi = hi, min(tau_cap, hi * 2)
     while lo < hi:
         mid = (lo + hi) // 2
-        if gamma(mid) <= threshold:
+        if _satisfies(gamma(mid), threshold):
             hi = mid
         else:
             lo = mid + 1
+    # A ceil() ripple can strand the binary search one step inside a
+    # satisfying run whose start lies lower; walk back to the run's
+    # start (in monotone regions this loop does not execute at all).
+    while hi > 1 and _satisfies(gamma(hi - 1), threshold):
+        hi -= 1
     return hi
 
 

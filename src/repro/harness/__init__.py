@@ -3,10 +3,17 @@
 Every table/figure of the paper's evaluation (and the text-reported
 studies) has an entry in :data:`repro.harness.registry.EXPERIMENTS`;
 ``python -m repro run <id>`` (or the ``dftmsn`` script) regenerates it.
+
+Execution is pluggable: :class:`~repro.harness.runner.SerialRunner`
+(default) runs in-process, :class:`~repro.harness.runner.ProcessPoolRunner`
+fans independent replicate runs out over worker processes, and a
+:class:`~repro.harness.serialize.Checkpoint` makes long sweeps
+resumable.  All backends produce identical numbers for identical seeds.
 """
 
 from repro.harness.experiment import (
     AggregateResult,
+    derive_seed,
     run_replicated,
     sweep,
 )
@@ -17,9 +24,19 @@ from repro.harness.figures import (
     format_series_table,
 )
 from repro.harness.registry import EXPERIMENTS, ExperimentSpec
+from repro.harness.runner import (
+    Job,
+    ProcessPoolRunner,
+    RunFailure,
+    Runner,
+    SerialRunner,
+    runner_for_workers,
+)
+from repro.harness.serialize import Checkpoint
 
 __all__ = [
     "AggregateResult",
+    "derive_seed",
     "run_replicated",
     "sweep",
     "fig2",
@@ -28,4 +45,11 @@ __all__ = [
     "format_series_table",
     "EXPERIMENTS",
     "ExperimentSpec",
+    "Job",
+    "ProcessPoolRunner",
+    "RunFailure",
+    "Runner",
+    "SerialRunner",
+    "runner_for_workers",
+    "Checkpoint",
 ]

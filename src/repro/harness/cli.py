@@ -4,12 +4,15 @@ Examples::
 
     dftmsn list
     dftmsn run fig2a --duration 5000 --replicates 2
+    dftmsn run fig2a --workers 4 --checkpoint out/fig2a.ckpt
     dftmsn single --protocol opt --sinks 3 --duration 5000 --seed 7
     python -m repro run fig2b
 
 ``--duration`` scales every experiment: the paper's full scale is
 25 000 s, which takes a while in pure Python; 3 000-5 000 s already
-reproduces the qualitative shape.
+reproduces the qualitative shape.  ``--workers N`` fans the independent
+replicate runs out over N processes (0 = serial, same numbers either
+way); ``--checkpoint PATH`` makes an interrupted sweep resumable.
 """
 
 from __future__ import annotations
@@ -20,8 +23,22 @@ import sys
 from typing import List, Optional
 
 from repro.harness.registry import EXPERIMENTS
+from repro.harness.runner import runner_for_workers
+from repro.harness.serialize import Checkpoint
 from repro.network.config import PROTOCOLS, SimulationConfig
 from repro.network.simulation import run_simulation
+
+
+def _worker_count(text: str) -> int:
+    """argparse type for ``--workers``: a non-negative integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "workers cannot be negative (0 = serial)")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,6 +62,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="suppress progress lines")
     run_p.add_argument("--save", metavar="PATH", default=None,
                        help="also write the results as JSON to PATH")
+    run_p.add_argument("--workers", type=_worker_count, default=0,
+                       help="parallel worker processes (0 = serial, "
+                            "the default)")
+    run_p.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="persist completed runs to PATH (JSONL) and "
+                            "resume from it on restart")
 
     single_p = sub.add_parser("single", help="run one simulation")
     single_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -64,11 +87,15 @@ def _build_parser() -> argparse.ArgumentParser:
     contact_p.add_argument("--sensors", type=int, default=100)
     contact_p.add_argument("--sinks", type=int, default=3)
     contact_p.add_argument("--policies", default="fad,direct,epidemic,zbr,spray")
+    contact_p.add_argument("--workers", type=_worker_count, default=0,
+                           help="parallel worker processes (0 = serial)")
 
     xval_p = sub.add_parser(
         "crossval", help="packet-level vs contact-level cross-validation")
     xval_p.add_argument("--duration", type=float, default=5_000.0)
     xval_p.add_argument("--seed", type=int, default=1)
+    xval_p.add_argument("--workers", type=_worker_count, default=0,
+                        help="parallel worker processes (0 = serial)")
     return parser
 
 
@@ -82,9 +109,18 @@ def _cmd_list() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = EXPERIMENTS[args.experiment]
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr)
+    runner = runner_for_workers(args.workers)
+    checkpoint = None
+    if args.checkpoint:
+        import pathlib
+
+        checkpoint = Checkpoint(pathlib.Path(args.checkpoint))
+        if len(checkpoint) and not args.quiet:
+            print(f"(resuming: {len(checkpoint)} completed runs in "
+                  f"{args.checkpoint})", file=sys.stderr)
     print(f"# {spec.title}", file=sys.stderr)
     table = spec.run(duration_s=args.duration, replicates=args.replicates,
-                     progress=progress)
+                     progress=progress, runner=runner, checkpoint=checkpoint)
     print(spec.format(table))
     if args.save:
         import pathlib
@@ -135,6 +171,7 @@ def _cmd_contact(args: argparse.Namespace) -> int:
         duration_s=args.duration, policies=policies, seed=args.seed,
         n_sensors=args.sensors, n_sinks=args.sinks,
         progress=lambda msg: print(msg, file=sys.stderr),
+        runner=runner_for_workers(args.workers),
     )
     print(format_policy_comparison(results))
     return 0
@@ -147,7 +184,8 @@ def _cmd_crossval(args: argparse.Namespace) -> int:
     )
 
     table = cross_validation(duration_s=args.duration, seed=args.seed,
-                             progress=lambda msg: print(msg, file=sys.stderr))
+                             progress=lambda msg: print(msg, file=sys.stderr),
+                             runner=runner_for_workers(args.workers))
     print(format_cross_validation(table))
     return 0
 

@@ -12,17 +12,24 @@ Two studies built on the contact-level simulator:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.contact.simulator import (
     CONTACT_POLICIES,
     ContactSimConfig,
     ContactSimResult,
-    run_contact_simulation,
 )
+from repro.harness.runner import Job, Runner, RunFailure, SerialRunner
+from repro.harness.serialize import Checkpoint
 from repro.network.config import SimulationConfig
-from repro.network.simulation import run_simulation
+
+
+def _raise_on_failure(outcome: object) -> object:
+    """Comparison tables have no failure slot: surface crashes loudly."""
+    if isinstance(outcome, RunFailure):
+        raise RuntimeError(
+            f"{outcome.error_type}: {outcome.error}\n{outcome.traceback}")
+    return outcome
 
 
 def policy_comparison(
@@ -30,17 +37,24 @@ def policy_comparison(
     policies: Sequence[str] = ("fad", "direct", "epidemic", "zbr", "spray"),
     seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
     **config_overrides: object,
 ) -> Dict[str, ContactSimResult]:
     """Run each contact-level policy on the paper topology."""
-    results: Dict[str, ContactSimResult] = {}
+    if runner is None:
+        runner = SerialRunner()
+    jobs = []
     for policy in policies:
         if progress is not None:
             progress(f"contact policy {policy}")
         cfg = ContactSimConfig(policy=policy, duration_s=duration_s,
                                seed=seed, **config_overrides)  # type: ignore[arg-type]
-        results[policy] = run_contact_simulation(cfg)
-    return results
+        jobs.append(Job("contact", cfg))
+    outcomes = runner.run_jobs(jobs, progress=progress,
+                               checkpoint=checkpoint)
+    return {policy: _raise_on_failure(outcome)  # type: ignore[misc]
+            for policy, outcome in zip(policies, outcomes)}
 
 
 def format_policy_comparison(results: Dict[str, ContactSimResult]) -> str:
@@ -62,25 +76,36 @@ def cross_validation(
     duration_s: float = 5_000.0,
     seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Packet-level vs contact-level delivery ratios for matched policies.
 
     Pairs: OPT <-> fad, direct <-> direct, zbr <-> zbr.  The contact
     level (ideal MAC, no sleeping) should dominate the packet level,
-    with the same ordering across policies.
+    with the same ordering across policies.  Both runs of every pair go
+    into one batch, so a parallel runner overlaps all six simulations.
     """
+    if runner is None:
+        runner = SerialRunner()
     pairs = {"opt": "fad", "direct": "direct", "zbr": "zbr"}
-    table: Dict[str, Dict[str, float]] = {}
+    jobs: List[Job] = []
     for packet_proto, contact_policy in pairs.items():
         if progress is not None:
             progress(f"packet {packet_proto} vs contact {contact_policy}")
-        packet = run_simulation(SimulationConfig(
-            protocol=packet_proto, duration_s=duration_s, seed=seed))
-        contact = run_contact_simulation(ContactSimConfig(
-            policy=contact_policy, duration_s=duration_s, seed=seed))
+        jobs.append(Job("packet", SimulationConfig(
+            protocol=packet_proto, duration_s=duration_s, seed=seed)))
+        jobs.append(Job("contact", ContactSimConfig(
+            policy=contact_policy, duration_s=duration_s, seed=seed)))
+    outcomes = runner.run_jobs(jobs, progress=progress,
+                               checkpoint=checkpoint)
+    table: Dict[str, Dict[str, float]] = {}
+    for i, packet_proto in enumerate(pairs):
+        packet = _raise_on_failure(outcomes[2 * i])
+        contact = _raise_on_failure(outcomes[2 * i + 1])
         table[packet_proto] = {
-            "packet_ratio": packet.delivery_ratio,
-            "contact_ratio": contact.delivery_ratio,
+            "packet_ratio": packet.delivery_ratio,  # type: ignore[union-attr]
+            "contact_ratio": contact.delivery_ratio,  # type: ignore[union-attr]
         }
     return table
 

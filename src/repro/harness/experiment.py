@@ -3,24 +3,69 @@
 The paper averages each data point over multiple simulation runs
 (Sec. 5); :func:`run_replicated` does the same with per-replicate seeds,
 and :func:`sweep` maps a config-editing function over a parameter axis.
+
+Both accept a :class:`~repro.harness.runner.Runner` (serial by default,
+:class:`~repro.harness.runner.ProcessPoolRunner` for parallel execution)
+and an optional :class:`~repro.harness.serialize.Checkpoint`; a sweep
+dispatches *all* of its replicate runs as one batch, so a parallel
+backend overlaps work across axis points, and results are aggregated in
+a deterministic order regardless of completion order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.runner import Job, Runner, RunFailure, SerialRunner
+from repro.harness.serialize import Checkpoint
 from repro.metrics.stats import mean_confidence_interval, summarize
 from repro.network.config import SimulationConfig
-from repro.network.simulation import SimulationResult, run_simulation
+from repro.network.simulation import SimulationResult
+
+
+def derive_seed(base_seed: int, config_seed: int, rep: int) -> int:
+    """Per-replicate seed from a stable hash of all three inputs.
+
+    The historical linear rule (``base_seed + 1000 * rep + config.seed``)
+    collided across sweep points and replicates (``config.seed=1001,
+    rep=0`` equals ``config.seed=1, rep=1``), silently correlating runs
+    that must be independent.  Hashing makes every ``(base_seed,
+    config_seed, rep)`` triple its own seed, identically in every
+    process and interpreter run (unlike builtin ``hash``, which is
+    salted per process).
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{config_seed}:{rep}".encode("utf-8")).digest()
+    # 63-bit positive seed: collision-free in practice, JSON-safe.
+    return int.from_bytes(digest[:8], "big") % (2 ** 63 - 1) + 1
+
+
+def replicate_configs(
+    config: SimulationConfig,
+    replicates: int,
+    base_seed: int = 1,
+) -> List[SimulationConfig]:
+    """The per-replicate configs (derived seeds) for one data point."""
+    if replicates < 1:
+        raise ValueError("need at least one replicate")
+    return [config.with_seed(derive_seed(base_seed, config.seed, rep))
+            for rep in range(replicates)]
 
 
 @dataclass
 class AggregateResult:
-    """Mean metrics over the replicates of one configuration."""
+    """Mean metrics over the replicates of one configuration.
+
+    ``failures`` holds the replicates that crashed instead of producing
+    a result (see :class:`~repro.harness.runner.RunFailure`); statistics
+    are computed over the successful replicates only.
+    """
 
     config: SimulationConfig
     replicates: List[SimulationResult]
+    failures: List[RunFailure] = field(default_factory=list)
 
     @property
     def n(self) -> int:
@@ -77,24 +122,69 @@ class AggregateResult:
                          "average_power_mw", "average_hops")
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless plain-data view (config + every replicate result)."""
+        from repro.harness.serialize import result_to_dict
+
+        return {
+            "config": self.config.to_dict(),
+            "replicates": [result_to_dict(r) for r in self.replicates],
+            "failures": [
+                {"error_type": f.error_type, "error": f.error,
+                 "traceback": f.traceback,
+                 "config": f.job.config.to_dict()}
+                for f in self.failures
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AggregateResult":
+        """Rebuild an aggregate from :meth:`to_dict` output.
+
+        Failures round-trip as structured records (the original
+        exception object is gone, so they are rebuilt as
+        :class:`RunFailure` entries around the failing config).
+        """
+        from repro.harness.serialize import result_from_dict
+
+        failures = []
+        for f in data.get("failures", []):  # type: ignore[union-attr]
+            cfg = SimulationConfig.from_dict(f["config"])
+            failures.append(RunFailure(
+                job=Job("packet", cfg), error_type=f["error_type"],
+                error=f["error"], traceback=f["traceback"]))
+        return cls(
+            config=SimulationConfig.from_dict(data["config"]),  # type: ignore[arg-type]
+            replicates=[result_from_dict(r)
+                        for r in data["replicates"]],  # type: ignore[union-attr]
+            failures=failures,
+        )
+
+
+def _aggregate(config: SimulationConfig,
+               outcomes: Sequence[object]) -> AggregateResult:
+    """Split runner outcomes into successes and structured failures."""
+    results = [o for o in outcomes if isinstance(o, SimulationResult)]
+    failures = [o for o in outcomes if isinstance(o, RunFailure)]
+    return AggregateResult(config=config, replicates=results,
+                           failures=failures)
+
 
 def run_replicated(
     config: SimulationConfig,
     replicates: int = 3,
     base_seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
 ) -> AggregateResult:
     """Run ``config`` with ``replicates`` distinct seeds and aggregate."""
-    if replicates < 1:
-        raise ValueError("need at least one replicate")
-    results: List[SimulationResult] = []
-    for rep in range(replicates):
-        cfg = config.with_seed(base_seed + 1000 * rep + config.seed)
-        if progress is not None:
-            progress(f"  run {rep + 1}/{replicates} "
-                     f"(protocol={cfg.protocol}, seed={cfg.seed})")
-        results.append(run_simulation(cfg))
-    return AggregateResult(config=config, replicates=results)
+    configs = replicate_configs(config, replicates, base_seed)
+    if runner is None:
+        runner = SerialRunner()
+    outcomes = runner.run_jobs([Job("packet", cfg) for cfg in configs],
+                               progress=progress, checkpoint=checkpoint)
+    return _aggregate(config, outcomes)
 
 
 def sweep(
@@ -105,19 +195,35 @@ def sweep(
     replicates: int = 3,
     base_seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
 ) -> Dict[object, AggregateResult]:
     """Run ``base`` across an axis (e.g. number of sinks), aggregated.
 
     ``edit(config, value)`` produces the per-point configuration; the
-    common case is ``lambda c, v: replace(c, n_sinks=v)``.
+    common case is ``lambda c, v: replace(c, n_sinks=v)``.  All
+    ``len(axis_values) * replicates`` runs are dispatched as one batch,
+    so a parallel runner keeps its workers busy across the whole sweep.
     """
-    out: Dict[object, AggregateResult] = {}
+    if runner is None:
+        runner = SerialRunner()
+    points: List[Tuple[object, SimulationConfig]] = []
     for value in axis_values:
         if progress is not None:
             progress(f"{axis_name} = {value}")
-        cfg = edit(base, value)
-        out[value] = run_replicated(cfg, replicates=replicates,
-                                    base_seed=base_seed, progress=progress)
+        points.append((value, edit(base, value)))
+
+    jobs: List[Job] = []
+    for _value, cfg in points:
+        jobs.extend(Job("packet", c)
+                    for c in replicate_configs(cfg, replicates, base_seed))
+    outcomes = runner.run_jobs(jobs, progress=progress,
+                               checkpoint=checkpoint)
+
+    out: Dict[object, AggregateResult] = {}
+    for i, (value, cfg) in enumerate(points):
+        chunk = outcomes[i * replicates:(i + 1) * replicates]
+        out[value] = _aggregate(cfg, chunk)
     return out
 
 

@@ -17,12 +17,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness.experiment import (
     AggregateResult,
-    run_replicated,
     sweep,
     vary_sensors,
     vary_sinks,
     vary_speed,
 )
+from repro.harness.runner import Runner
+from repro.harness.serialize import Checkpoint
 from repro.network.config import SimulationConfig
 
 #: The four protocol variants compared in Fig. 2.
@@ -44,6 +45,8 @@ def fig2(
     protocols: Sequence[str] = FIG2_PROTOCOLS,
     sink_counts: Sequence[int] = FIG2_SINKS,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
 ) -> SeriesTable:
     """Fig. 2: sweep the number of sinks for each protocol variant."""
     table: SeriesTable = {}
@@ -53,7 +56,8 @@ def fig2(
         base = _base_config(duration_s, protocol=protocol)
         table[protocol] = sweep(base, "n_sinks", list(sink_counts),
                                 vary_sinks, replicates=replicates,
-                                progress=progress)
+                                progress=progress, runner=runner,
+                                checkpoint=checkpoint)
     return table
 
 
@@ -63,6 +67,8 @@ def density_study(
     protocols: Sequence[str] = ("opt", "zbr"),
     sensor_counts: Sequence[int] = (50, 100, 150, 200),
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
 ) -> SeriesTable:
     """Sec. 5 text: impact of node density.
 
@@ -76,7 +82,8 @@ def density_study(
         base = _base_config(duration_s, protocol=protocol)
         table[protocol] = sweep(base, "n_sensors", list(sensor_counts),
                                 vary_sensors, replicates=replicates,
-                                progress=progress)
+                                progress=progress, runner=runner,
+                                checkpoint=checkpoint)
     return table
 
 
@@ -86,6 +93,8 @@ def buffer_study(
     protocols: Sequence[str] = ("opt", "epidemic"),
     capacities: Sequence[int] = (25, 50, 100, 200),
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
 ) -> SeriesTable:
     """Extension study: impact of the buffer limit.
 
@@ -106,7 +115,8 @@ def buffer_study(
         base = _base_config(duration_s, protocol=protocol)
         table[protocol] = sweep(base, "queue_capacity", list(capacities),
                                 vary_capacity, replicates=replicates,
-                                progress=progress)
+                                progress=progress, runner=runner,
+                                checkpoint=checkpoint)
     return table
 
 
@@ -116,6 +126,8 @@ def sink_mobility_study(
     protocols: Sequence[str] = ("opt",),
     modes: Sequence[str] = ("static", "mobile"),
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
 ) -> SeriesTable:
     """Extension study: strategic static sinks vs people-carried sinks.
 
@@ -134,7 +146,8 @@ def sink_mobility_study(
         base = _base_config(duration_s, protocol=protocol)
         table[protocol] = sweep(base, "sink_mobility", list(modes),
                                 vary_mode, replicates=replicates,
-                                progress=progress)
+                                progress=progress, runner=runner,
+                                checkpoint=checkpoint)
     return table
 
 
@@ -144,6 +157,8 @@ def speed_study(
     protocols: Sequence[str] = ("opt", "zbr"),
     max_speeds: Sequence[float] = (1.0, 2.5, 5.0, 10.0),
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
 ) -> SeriesTable:
     """Sec. 5 text: impact of nodal speed.
 
@@ -158,7 +173,8 @@ def speed_study(
         base = _base_config(duration_s, protocol=protocol)
         table[protocol] = sweep(base, "speed_max_mps", list(max_speeds),
                                 vary_speed, replicates=replicates,
-                                progress=progress)
+                                progress=progress, runner=runner,
+                                checkpoint=checkpoint)
     return table
 
 

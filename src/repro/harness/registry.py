@@ -12,6 +12,8 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.harness import figures
 from repro.harness.figures import SeriesTable, format_series_table
+from repro.harness.runner import Runner
+from repro.harness.serialize import Checkpoint
 
 
 @dataclass(frozen=True)
@@ -30,10 +32,18 @@ class ExperimentSpec:
         duration_s: float = 25_000.0,
         replicates: int = 3,
         progress: Optional[Callable[[str], None]] = None,
+        runner: Optional[Runner] = None,
+        checkpoint: Optional[Checkpoint] = None,
     ) -> SeriesTable:
-        """Execute the experiment at the given scale."""
+        """Execute the experiment at the given scale.
+
+        ``runner`` selects the execution backend (serial by default);
+        ``checkpoint`` persists completed runs so an interrupted
+        experiment resumes without redoing finished points.
+        """
         return self.runner(duration_s=duration_s, replicates=replicates,
-                           progress=progress)
+                           progress=progress, runner=runner,
+                           checkpoint=checkpoint)
 
     def format(self, table: SeriesTable) -> str:
         """Render the experiment's paper-style table."""
@@ -42,12 +52,15 @@ class ExperimentSpec:
 
 
 def _fig2_runner(metric: str) -> Callable[..., SeriesTable]:
-    def runner(duration_s: float = 25_000.0, replicates: int = 3,
-               progress: Optional[Callable[[str], None]] = None) -> SeriesTable:
+    def run_fig2(duration_s: float = 25_000.0, replicates: int = 3,
+                 progress: Optional[Callable[[str], None]] = None,
+                 runner: Optional[Runner] = None,
+                 checkpoint: Optional[Checkpoint] = None) -> SeriesTable:
         """Run the shared Fig. 2 sweep (all three panels use it)."""
         return figures.fig2(duration_s=duration_s, replicates=replicates,
-                            progress=progress)
-    return runner
+                            progress=progress, runner=runner,
+                            checkpoint=checkpoint)
+    return run_fig2
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {

@@ -24,6 +24,7 @@ def series_table_to_records(table: SeriesTable) -> Dict[str, Dict[str, dict]]:
         for axis_value, agg in series.items():
             records[protocol][str(axis_value)] = {
                 "replicates": agg.n,
+                "failures": len(agg.failures),
                 "delivery_ratio": agg.mean("delivery_ratio"),
                 "average_delay_s": agg.mean("average_delay_s"),
                 "average_power_mw": agg.mean("average_power_mw"),

@@ -9,7 +9,7 @@ Berkeley-mote power, 25 000 s per run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional, Tuple, Type
 
 from repro.baselines.direct import DirectAgent
@@ -124,6 +124,39 @@ class SimulationConfig:
     def with_seed(self, seed: int) -> "SimulationConfig":
         """A copy of this configuration with a different seed."""
         return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless plain-data view (for JSON / cross-process dispatch).
+
+        The agent class is never serialized: it is re-derived from the
+        ``protocol`` name via :data:`PROTOCOLS` on the other side, so a
+        config dict stays valid across processes and interpreter runs.
+        ``params`` overrides (when present) are nested as their own dict.
+        """
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "params":
+                value = None if value is None else value.to_dict()
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output (lossless)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SimulationConfig fields: {sorted(unknown)}")
+        payload = dict(data)
+        params = payload.get("params")
+        if params is not None and not isinstance(params, ProtocolParameters):
+            payload["params"] = ProtocolParameters.from_dict(params)  # type: ignore[arg-type]
+        return cls(**payload)  # type: ignore[arg-type]
 
     @property
     def sink_ids(self) -> range:

@@ -9,6 +9,7 @@ counters.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -69,6 +70,9 @@ class SimulationResult:
             "seed": self.config.seed,
             "n_sinks": self.config.n_sinks,
             "n_sensors": self.config.n_sensors,
+            "mobility_model": self.config.mobility_model,
+            "sink_placement": self.config.sink_placement,
+            "sink_mobility": self.config.sink_mobility,
             "duration_s": self.duration_s,
             "generated": self.messages_generated,
             "delivered": self.messages_delivered,
@@ -163,8 +167,6 @@ class Simulation:
 
     def _grid_positions(self, n: int) -> List[tuple]:
         """Evenly spread sink positions ("strategic locations")."""
-        import math
-
         cols = math.ceil(math.sqrt(n))
         rows = math.ceil(n / cols)
         positions = []

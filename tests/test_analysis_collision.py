@@ -15,7 +15,7 @@ from repro.analysis import (
     rts_collision_probability,
     sigma_slots,
 )
-from repro.analysis.collision import min_tau_max_fast
+from repro.analysis.collision import _THRESHOLD_EPS, min_tau_max_fast
 
 
 class TestSigma:
@@ -125,11 +125,14 @@ class TestMinTauMax:
         exact = min_tau_max(xis, threshold, tau_cap=128)
         fast = min_tau_max_fast(xis, threshold, tau_cap=128)
         # The binary search may land on a ceil() ripple one slot away,
-        # but must always satisfy the threshold it claims to satisfy.
+        # but must always satisfy the threshold it claims to satisfy
+        # (up to the round-off tolerance both searches share: gamma
+        # values mathematically equal to the threshold count as met).
         assert abs(fast - exact) <= 1
         if fast < 128:
             sigmas = [sigma_slots(x, fast) for x in xis]
-            assert rts_collision_probability(sigmas) <= threshold
+            assert (rts_collision_probability(sigmas)
+                    <= threshold + _THRESHOLD_EPS)
 
     def test_fast_search_alone_in_cell(self):
         assert min_tau_max_fast([0.7], threshold=0.1) == 1
