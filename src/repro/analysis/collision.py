@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
+from repro.checks.tolerance import tolerant_le
+
 
 def sigma_slots(xi: float, tau_max: int) -> int:
     """Eq. (9): the listen-period upper bound ``sigma_i = xi_i * tau_max``.
@@ -73,20 +75,13 @@ def rts_collision_probability(sigmas: Sequence[int]) -> float:
     return min(1.0, max(0.0, gamma))
 
 
-#: Tolerance of the threshold comparisons below.  ``gamma`` values that
-#: are mathematically equal can differ by ~1e-16 depending on the sigma
-#: vector they were computed from (e.g. [5, 3] and [5, 4] both give
-#: exactly 1/5); comparing against ``threshold`` exactly then classifies
-#: equal values inconsistently across tau_max, which breaks the
-#: agreement between the linear and binary searches.
-_THRESHOLD_EPS = 1e-9
-
-
-def _satisfies(gamma: float, threshold: float) -> bool:
-    """Round-off-tolerant ``gamma <= threshold`` test."""
-    return gamma <= threshold + _THRESHOLD_EPS
-
-
+# ``gamma`` values that are mathematically equal can differ by ~1e-16
+# depending on the sigma vector they were computed from (e.g. [5, 3] and
+# [5, 4] both give exactly 1/5); comparing against ``threshold`` exactly
+# then classifies equal values inconsistently across tau_max, which
+# breaks the agreement between the linear and binary searches.  Both
+# searches therefore share the tolerant threshold test
+# (:func:`repro.checks.tolerance.tolerant_le`).
 def min_tau_max(
     xis: Sequence[float],
     threshold: float,
@@ -106,7 +101,7 @@ def min_tau_max(
         return 1  # alone in the cell: no contention at all
     for tau_max in range(1, tau_cap + 1):
         sigmas = [sigma_slots(xi, tau_max) for xi in xis]
-        if _satisfies(rts_collision_probability(sigmas), threshold):
+        if tolerant_le(rts_collision_probability(sigmas), threshold):
             return tau_max
     return tau_cap
 
@@ -136,21 +131,21 @@ def min_tau_max_fast(
         return rts_collision_probability(
             [sigma_slots(xi, tau_max) for xi in xis])
 
-    if not _satisfies(gamma(tau_cap), threshold):
+    if not tolerant_le(gamma(tau_cap), threshold):
         return tau_cap
     lo, hi = 1, 1
-    while not _satisfies(gamma(hi), threshold):
+    while not tolerant_le(gamma(hi), threshold):
         lo, hi = hi, min(tau_cap, hi * 2)
     while lo < hi:
         mid = (lo + hi) // 2
-        if _satisfies(gamma(mid), threshold):
+        if tolerant_le(gamma(mid), threshold):
             hi = mid
         else:
             lo = mid + 1
     # A ceil() ripple can strand the binary search one step inside a
     # satisfying run whose start lies lower; walk back to the run's
     # start (in monotone regions this loop does not execute at all).
-    while hi > 1 and _satisfies(gamma(hi - 1), threshold):
+    while hi > 1 and tolerant_le(gamma(hi - 1), threshold):
         hi -= 1
     return hi
 

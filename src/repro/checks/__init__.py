@@ -1,0 +1,35 @@
+"""Correctness tooling for the simulator.
+
+Three coordinated layers (see ``docs/CHECKS.md``):
+
+* :mod:`repro.checks.lint` — an AST-based, project-specific lint that
+  guards the determinism and float-safety conventions the reproduction
+  relies on (``dftmsn lint``);
+* :mod:`repro.checks.invariants` — a runtime checker asserting the
+  paper's protocol invariants (Eq. 1-3, queue order, buffer bounds,
+  clock monotonicity, message-copy conservation) during a run;
+* :mod:`repro.checks.tolerance` — the shared round-off-tolerant float
+  comparison helpers both layers point offending code at.
+"""
+
+from repro.checks.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    check_queue_invariants,
+    invariants_forced,
+)
+from repro.checks.lint import Finding, lint_paths, lint_source
+from repro.checks.tolerance import THRESHOLD_EPS, tolerant_eq, tolerant_le
+
+__all__ = [
+    "Finding",
+    "InvariantChecker",
+    "InvariantViolation",
+    "THRESHOLD_EPS",
+    "check_queue_invariants",
+    "invariants_forced",
+    "lint_paths",
+    "lint_source",
+    "tolerant_eq",
+    "tolerant_le",
+]

@@ -1,0 +1,24 @@
+"""Pytest integration for the runtime invariant checker.
+
+Importing :func:`enforce_invariants` into a ``conftest.py`` (the
+repository's ``tests/conftest.py`` does) force-enables invariant
+checking in every simulation a test runs — directly or in worker
+processes, which inherit the environment — so the whole tier-1 suite
+doubles as an invariant test.  A test that must opt out (e.g. to
+measure checker overhead) can ``monkeypatch.delenv(ENV_FLAG)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.checks.invariants import ENV_FLAG
+
+
+@pytest.fixture(autouse=True)
+def enforce_invariants(monkeypatch: pytest.MonkeyPatch) -> Iterator[None]:
+    """Force :data:`ENV_FLAG` on for the duration of each test."""
+    monkeypatch.setenv(ENV_FLAG, "1")
+    yield

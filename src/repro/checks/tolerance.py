@@ -1,0 +1,39 @@
+"""Round-off-tolerant float comparisons shared across the simulator.
+
+Probability-valued quantities (``xi``, FTD, the collision probability
+``gamma``) are computed along different arithmetic paths that are
+mathematically equal but differ by a few ULPs — e.g. the sigma vectors
+``[5, 3]`` and ``[5, 4]`` both give ``gamma`` exactly ``1/5`` on paper
+but ~1e-16 apart in floats.  Comparing such values exactly classifies
+equal values inconsistently, which PR 1 found breaking the agreement
+between the linear and binary ``tau_max`` searches in
+:mod:`repro.analysis.collision`.
+
+Every threshold/equality test on probability-like floats goes through
+these helpers; the FLT001 lint rule flags exact ``==``/``!=`` instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute slack of the threshold comparisons.  Probabilities live in
+#: [0, 1], so a fixed absolute epsilon far above ULP noise (~1e-16) and
+#: far below any meaningful probability difference is appropriate.
+THRESHOLD_EPS = 1e-9
+
+
+def tolerant_le(value: float, threshold: float,
+                eps: float = THRESHOLD_EPS) -> bool:
+    """Round-off-tolerant ``value <= threshold`` test."""
+    return value <= threshold + eps
+
+
+def tolerant_eq(a: float, b: float, eps: float = THRESHOLD_EPS) -> bool:
+    """Round-off-tolerant ``a == b`` test for probability-like floats.
+
+    Uses :func:`math.isclose` with both a relative tolerance and an
+    absolute floor of ``eps`` (the relative test alone breaks down
+    around zero, a perfectly ordinary probability).
+    """
+    return math.isclose(a, b, rel_tol=eps, abs_tol=eps)

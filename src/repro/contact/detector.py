@@ -67,13 +67,16 @@ class ContactTracer:
                 if other > node:
                     current.add(frozenset((node, other)))
 
-        for pair in current - set(self._active):
+        # Iterate set differences in sorted pair order: set iteration
+        # order is hash-dependent (DET003), and the start/end callbacks
+        # feed the contact-level simulator's scheduling.
+        for pair in sorted(current - set(self._active), key=sorted):
             self._active[pair] = now
             if self._on_start is not None:
                 a, b = sorted(pair)
                 self._on_start(a, b, now)
 
-        for pair in set(self._active) - current:
+        for pair in sorted(set(self._active) - current, key=sorted):
             started = self._active.pop(pair)
             a, b = sorted(pair)
             self.contacts.append(Contact(a, b, started, now))

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.contention import ContentionPolicy
 from repro.core.delivery import DeliveryProbabilityEstimator
@@ -34,6 +34,7 @@ from repro.core.selection import Candidate, select_receivers
 from repro.core.sleep import SleepScheduler
 from repro.des.event import Event
 from repro.des.scheduler import EventScheduler
+from repro.metrics.collector import MetricsCollector
 from repro.radio.frames import Ack, Cts, DataFrame, Frame, FrameKind, Preamble, Rts, Schedule
 from repro.radio.states import RadioState
 from repro.radio.transceiver import Transceiver
@@ -91,7 +92,7 @@ class MacAgent:
         params: ProtocolParameters,
         rng: random.Random,
         queue: FtdQueue,
-        collector: Optional[object] = None,
+        collector: Optional[MetricsCollector] = None,
     ) -> None:
         self.node_id = node_id
         self.radio = radio
@@ -121,7 +122,7 @@ class MacAgent:
         self._candidates: List[Candidate] = []
         self._phi: List[Candidate] = []
         self._assignments: Dict[int, float] = {}
-        self._acked: set = set()
+        self._acked: Set[int] = set()
         self._rts_window = 1
         # Collision feedback for the Eq. 14 responder estimate: a CTS
         # window that ends with corrupted frames and no decodable CTS
@@ -236,7 +237,8 @@ class MacAgent:
     # ==================================================================
     # working cycle
     # ==================================================================
-    def _set_pending(self, delay: float, callback, *args) -> None:
+    def _set_pending(self, delay: float, callback: Callable[..., Any],
+                     *args: Any) -> None:
         if self._pending is not None:
             self._pending.cancel()
         self._pending = self.scheduler.schedule(delay, callback, *args)
@@ -686,7 +688,7 @@ class CrossLayerAgent(MacAgent):
     sender's own copy follows Eq. 3, and ``xi`` follows Eq. 1.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.estimator = DeliveryProbabilityEstimator(self.params, self.scheduler)
 

@@ -21,9 +21,18 @@ from repro.core.message import MessageCopy
 
 @dataclass
 class QueueStats:
-    """Counters of queue-management outcomes."""
+    """Counters of queue-management outcomes.
+
+    Together they form a conservation ledger the invariant checker
+    (:mod:`repro.checks.invariants`) audits: the live occupancy always
+    equals ``inserted + reinserted - popped - removed_delivered -
+    drops_overflow`` (threshold drops and duplicate merges never change
+    occupancy).
+    """
 
     inserted: int = 0
+    reinserted: int = 0
+    popped: int = 0
     drops_overflow: int = 0
     drops_threshold: int = 0
     duplicates_merged: int = 0
@@ -107,6 +116,7 @@ class FtdQueue:
         """Remove and return the head (smallest FTD)."""
         if not self._copies:
             raise IndexError("pop from empty queue")
+        self.stats.popped += 1
         return self._pop_index(0)
 
     def remove(self, message_id: int) -> Optional[MessageCopy]:
@@ -129,11 +139,20 @@ class FtdQueue:
             self.stats.drops_threshold += 1
             return False
         self._insort(updated)
+        self.stats.reinserted += 1
         if len(self._copies) > self.capacity:
             self._pop_index(len(self._copies) - 1)
             self.stats.drops_overflow += 1
             return self._find(updated.message_id) is not None
         return True
+
+    def sort_keys(self) -> List[Tuple[float, int]]:
+        """Snapshot of the ascending ``(ftd, seq)`` sort-key index.
+
+        Exposed for the invariant checker and the property-based tests;
+        the list is a copy, safe to inspect while the queue mutates.
+        """
+        return list(self._keys)
 
     # ------------------------------------------------------------------
     # queries used by the protocol

@@ -46,6 +46,15 @@ class EventScheduler:
         """Number of events still in the heap (including cancelled)."""
         return len(self._heap)
 
+    def pending_events(self) -> List[Event]:
+        """Snapshot of the scheduled events (cancelled ones included).
+
+        Heap order, not firing order; exposed for inspection (the
+        invariant checker audits that no pending event lies in the
+        past).
+        """
+        return list(self._heap)
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------

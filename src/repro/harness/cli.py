@@ -68,6 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--checkpoint", metavar="PATH", default=None,
                        help="persist completed runs to PATH (JSONL) and "
                             "resume from it on restart")
+    run_p.add_argument("--check-invariants", action="store_true",
+                       help="assert the protocol invariants during every "
+                            "run (sets REPRO_CHECK_INVARIANTS, so worker "
+                            "processes check too)")
 
     single_p = sub.add_parser("single", help="run one simulation")
     single_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -79,6 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
     single_p.add_argument("--speed-max", type=float, default=5.0)
     single_p.add_argument("--json", action="store_true",
                           help="emit the result as JSON")
+    single_p.add_argument("--check-invariants", action="store_true",
+                          help="assert the protocol invariants (Eq. 1-3, "
+                               "queue order, buffer bounds, conservation) "
+                               "during the run")
 
     contact_p = sub.add_parser(
         "contact", help="contact-level (ideal-MAC) policy comparison")
@@ -96,6 +104,15 @@ def _build_parser() -> argparse.ArgumentParser:
     xval_p.add_argument("--seed", type=int, default=1)
     xval_p.add_argument("--workers", type=_worker_count, default=0,
                         help="parallel worker processes (0 = serial)")
+
+    lint_p = sub.add_parser(
+        "lint", help="run the determinism / float-safety lint "
+                     "(see docs/CHECKS.md)")
+    lint_p.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print every rule's documentation and exit")
     return parser
 
 
@@ -106,8 +123,29 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.checks.lint import describe_rules, lint_paths
+
+    if args.list_rules:
+        print(describe_rules())
+        return 0
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = EXPERIMENTS[args.experiment]
+    if args.check_invariants:
+        import os
+
+        from repro.checks.invariants import ENV_FLAG
+
+        os.environ[ENV_FLAG] = "1"
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr)
     runner = runner_for_workers(args.workers)
     checkpoint = None
@@ -141,6 +179,7 @@ def _cmd_single(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
         speed_max_mps=args.speed_max,
+        check_invariants=args.check_invariants,
     )
     result = run_simulation(config)
     if args.json:
@@ -203,6 +242,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_contact(args)
     if args.command == "crossval":
         return _cmd_crossval(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError("unreachable")
 
 

@@ -6,6 +6,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.checks.tolerance import tolerant_eq
+
 
 class RunningStat:
     """Welford online mean/variance accumulator."""
@@ -75,7 +77,10 @@ def mean_confidence_interval(
     Only 95% intervals are tabulated; other confidences raise.  With
     fewer than two samples the half-width is reported as 0.
     """
-    if confidence != 0.95:
+    # Tolerant comparison (FLT001's motivating case): caller arithmetic
+    # like ``1 - alpha/2`` yields 0.9500000000000001, which an exact
+    # ``!=`` here used to reject.
+    if not tolerant_eq(confidence, 0.95):
         raise ValueError("only 95% intervals are supported")
     if not values:
         return float("nan"), 0.0

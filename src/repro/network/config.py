@@ -72,6 +72,15 @@ class SimulationConfig:
     bandwidth_bps: float = 10_000.0
     queue_capacity: int = 200
 
+    # --- correctness checking (repro.checks.invariants) ------------------------
+    #: Assert the protocol invariants (Eq. 1-3, queue order, buffer
+    #: bounds, clock monotonicity, copy conservation) during the run.
+    #: The ``REPRO_CHECK_INVARIANTS`` environment variable force-enables
+    #: this regardless of the field (the test suite does).
+    check_invariants: bool = False
+    #: Simulated seconds between two periodic invariant sweeps.
+    invariant_interval_s: float = 100.0
+
     # --- protocol parameters (None -> preset for ``protocol``) -----------------
     params: Optional[ProtocolParameters] = None
 
@@ -99,6 +108,8 @@ class SimulationConfig:
             raise ValueError("mean arrival interval must be positive")
         if self.queue_capacity < 1:
             raise ValueError("queue capacity must be at least 1")
+        if self.invariant_interval_s <= 0:
+            raise ValueError("invariant check interval must be positive")
 
     # ------------------------------------------------------------------
     # derived pieces

@@ -12,8 +12,9 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.checks.invariants import InvariantChecker, invariants_forced
 from repro.core.protocol import AgentStats, SinkAgent
 from repro.core.queue import FtdQueue
 from repro.des.rng import RandomStreams
@@ -64,7 +65,14 @@ class SimulationResult:
         return self.transmissions / self.messages_delivered
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-data view of the result (for JSON export)."""
+        """Plain-data view of the result (for JSON export).
+
+        Deliberately excludes ``wall_clock_s``: everything in this view
+        is a pure function of the seeded configuration, so two runs of
+        the same config produce byte-identical dicts (the determinism
+        regression test relies on this; the full lossless round trip
+        lives in :mod:`repro.harness.serialize`).
+        """
         return {
             "protocol": self.config.protocol,
             "seed": self.config.seed,
@@ -85,7 +93,6 @@ class SimulationResult:
             "queue_drops_overflow": self.queue_drops_overflow,
             "queue_drops_threshold": self.queue_drops_threshold,
             "events_fired": self.events_fired,
-            "wall_clock_s": self.wall_clock_s,
         }
 
 
@@ -109,6 +116,9 @@ class Simulation:
         self.medium = WirelessMedium(self.scheduler, self.timing, self.mobility)
         self.sinks: List[SinkNode] = []
         self.sensors: List[SensorNode] = []
+        #: Invariant sweeps performed by the last :meth:`run` (0 when
+        #: checking was disabled).
+        self.invariant_checks_run = 0
         self._build_sinks()
         self._build_sensors()
 
@@ -165,11 +175,11 @@ class Simulation:
             comm_range=cfg.comm_range_m, tick_s=cfg.mobility_tick_s,
         )
 
-    def _grid_positions(self, n: int) -> List[tuple]:
+    def _grid_positions(self, n: int) -> List[Tuple[float, float]]:
         """Evenly spread sink positions ("strategic locations")."""
         cols = math.ceil(math.sqrt(n))
         rows = math.ceil(n / cols)
-        positions = []
+        positions: List[Tuple[float, float]] = []
         for k in range(n):
             r, c = divmod(k, cols)
             x = (c + 0.5) * self.area.width / cols
@@ -216,8 +226,25 @@ class Simulation:
     # execution
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Run the event loop to the configured duration and collect results."""
-        started = time.perf_counter()
+        """Run the event loop to the configured duration and collect results.
+
+        With ``config.check_invariants`` (or the process-wide
+        ``REPRO_CHECK_INVARIANTS`` toggle) set, an
+        :class:`~repro.checks.invariants.InvariantChecker` sweeps the
+        protocol invariants every ``config.invariant_interval_s``
+        simulated seconds and once more after the loop drains, raising
+        :exc:`~repro.checks.invariants.InvariantViolation` on the first
+        breach.  The checker only reads protocol state, so every metric
+        is identical either way; only ``events_fired`` additionally
+        counts the checker's sweep events.
+        """
+        started = time.perf_counter()  # lint: disable=DET002 (wall metric)
+        checker: Optional[InvariantChecker] = None
+        if self.config.check_invariants or invariants_forced():
+            checker = InvariantChecker(
+                self.scheduler, self.sensors, self.collector,
+                interval_s=self.config.invariant_interval_s)
+            checker.install(until=self.config.duration_s)
         self.mobility.start()
         for sink in self.sinks:
             sink.start()
@@ -230,7 +257,10 @@ class Simulation:
             sink.finalize()
         for sensor in self.sensors:
             sensor.finalize()
-        wall = time.perf_counter() - started
+        if checker is not None:
+            checker.check_now()
+            self.invariant_checks_run = checker.checks_run
+        wall = time.perf_counter() - started  # lint: disable=DET002 (wall metric)
         return self._collect_result(wall)
 
     def _collect_result(self, wall_clock_s: float) -> SimulationResult:

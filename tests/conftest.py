@@ -1,0 +1,10 @@
+"""Shared test fixtures.
+
+Pulls in the invariant-checking fixture from
+:mod:`repro.checks.pytest_plugin`: every simulation run by any test —
+in-process or in a worker process — executes with the runtime protocol
+invariant checker enabled, so the whole tier-1 suite doubles as an
+invariant test (see docs/CHECKS.md).
+"""
+
+from repro.checks.pytest_plugin import enforce_invariants  # noqa: F401

@@ -15,7 +15,8 @@ from repro.analysis import (
     rts_collision_probability,
     sigma_slots,
 )
-from repro.analysis.collision import _THRESHOLD_EPS, min_tau_max_fast
+from repro.analysis.collision import min_tau_max_fast
+from repro.checks.tolerance import THRESHOLD_EPS
 
 
 class TestSigma:
@@ -132,7 +133,7 @@ class TestMinTauMax:
         if fast < 128:
             sigmas = [sigma_slots(x, fast) for x in xis]
             assert (rts_collision_probability(sigmas)
-                    <= threshold + _THRESHOLD_EPS)
+                    <= threshold + THRESHOLD_EPS)
 
     def test_fast_search_alone_in_cell(self):
         assert min_tau_max_fast([0.7], threshold=0.1) == 1

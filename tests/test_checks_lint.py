@@ -1,0 +1,171 @@
+"""Unit tests for the determinism / float-safety lint (repro.checks.lint).
+
+Every rule gets at least one known-bad fixture proving it fires and one
+known-good fixture proving it stays quiet, plus pragma-suppression and
+whole-tree checks (the committed tree must lint clean — that is the
+acceptance criterion CI enforces via ``dftmsn lint src/repro``).
+"""
+
+import pathlib
+
+from repro.checks.lint import (
+    RULES,
+    describe_rules,
+    is_sim_module,
+    lint_paths,
+    lint_source,
+)
+from repro.harness.cli import main as cli_main
+
+REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def rules_of(source, sim_module=False):
+    return [f.rule for f in lint_source(source, sim_module=sim_module)]
+
+
+class TestDet001:
+    def test_module_level_random_call_fires(self):
+        assert rules_of("import random\nx = random.random()\n") == ["DET001"]
+
+    def test_random_seed_fires(self):
+        assert rules_of("import random\nrandom.seed(42)\n") == ["DET001"]
+
+    def test_from_import_fires(self):
+        assert rules_of("from random import choice\n") == ["DET001"]
+
+    def test_injected_random_instance_clean(self):
+        src = ("import random\n"
+               "def f(rng: random.Random) -> float:\n"
+               "    return rng.random()\n")
+        assert rules_of(src) == []
+
+    def test_random_constructor_clean(self):
+        assert rules_of("import random\nr = random.Random(7)\n") == []
+
+
+class TestDet002:
+    def test_time_time_in_sim_module_fires(self):
+        assert rules_of("import time\nt = time.time()\n",
+                        sim_module=True) == ["DET002"]
+
+    def test_perf_counter_fires(self):
+        assert rules_of("import time\nt = time.perf_counter()\n",
+                        sim_module=True) == ["DET002"]
+
+    def test_datetime_now_fires(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert rules_of(src, sim_module=True) == ["DET002"]
+
+    def test_outside_sim_packages_clean(self):
+        assert rules_of("import time\nt = time.time()\n",
+                        sim_module=False) == []
+
+    def test_scheduler_now_clean(self):
+        assert rules_of("now = scheduler.now\n", sim_module=True) == []
+
+    def test_path_classification(self):
+        assert is_sim_module("src/repro/des/scheduler.py")
+        assert is_sim_module("src/repro/network/simulation.py")
+        assert not is_sim_module("src/repro/harness/cli.py")
+        assert not is_sim_module("src/repro/checks/lint.py")
+
+
+class TestDet003:
+    def test_for_over_set_call_fires(self):
+        assert rules_of("for x in set(items):\n    f(x)\n",
+                        sim_module=True) == ["DET003"]
+
+    def test_set_difference_fires(self):
+        # The committed-code case this rule flushed out:
+        # contact/detector.py iterated ``set(active) - current``.
+        assert rules_of("for p in set(active) - current:\n    f(p)\n",
+                        sim_module=True) == ["DET003"]
+
+    def test_comprehension_over_set_literal_fires(self):
+        assert rules_of("ys = [y for y in {1, 2, 3}]\n",
+                        sim_module=True) == ["DET003"]
+
+    def test_sorted_set_clean(self):
+        assert rules_of("for x in sorted(set(items)):\n    f(x)\n",
+                        sim_module=True) == []
+
+    def test_list_iteration_clean(self):
+        assert rules_of("for x in [1, 2]:\n    f(x)\n",
+                        sim_module=True) == []
+
+
+class TestFlt001:
+    def test_fractional_float_literal_fires(self):
+        # The motivating case: metrics/stats.py:78 rejected
+        # 0.9500000000000001 from caller arithmetic via ``!= 0.95``.
+        assert rules_of("if confidence != 0.95:\n    raise ValueError\n") \
+            == ["FLT001"]
+
+    def test_prob_named_pair_fires(self):
+        assert rules_of("same = ftd == other_ftd\n") == ["FLT001"]
+
+    def test_prob_name_against_integral_float_fires(self):
+        assert rules_of("done = xi == 1.0\n") == ["FLT001"]
+
+    def test_integer_comparison_clean(self):
+        assert rules_of("if count == 3:\n    pass\n") == []
+
+    def test_string_comparison_clean(self):
+        assert rules_of("if xi_multicast_rule == 'best':\n    pass\n") == []
+
+    def test_ordering_comparison_clean(self):
+        assert rules_of("ok = gamma <= threshold\n") == []
+
+
+class TestMut001:
+    def test_list_default_fires(self):
+        assert rules_of("def f(xs=[]):\n    return xs\n") == ["MUT001"]
+
+    def test_dict_constructor_default_fires(self):
+        assert rules_of("def f(m=dict()):\n    return m\n") == ["MUT001"]
+
+    def test_none_default_clean(self):
+        assert rules_of("def f(xs=None):\n    return xs\n") == []
+
+    def test_tuple_default_clean(self):
+        assert rules_of("def f(xs=()):\n    return xs\n") == []
+
+
+class TestPragma:
+    def test_line_pragma_suppresses(self):
+        src = "import time\nt = time.time()  # lint: disable=DET002\n"
+        assert rules_of(src, sim_module=True) == []
+
+    def test_pragma_is_rule_specific(self):
+        src = "import time\nt = time.time()  # lint: disable=DET001\n"
+        assert rules_of(src, sim_module=True) == ["DET002"]
+
+    def test_disable_all(self):
+        src = "x = random.random()  # lint: disable=all\n"
+        assert rules_of(src) == []
+
+
+class TestEngine:
+    def test_every_rule_has_id_and_doc(self):
+        ids = [r.rule_id for r in RULES]
+        assert len(ids) == len(set(ids)) and all(ids)
+        assert all(r.__doc__ and r.rule_id in r.__doc__ for r in RULES)
+        catalogue = describe_rules()
+        assert all(r.rule_id in catalogue for r in RULES)
+
+    def test_committed_tree_lints_clean(self):
+        findings = lint_paths([str(REPO_SRC)])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        assert cli_main(["lint", str(REPO_SRC)]) == 0
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nrandom.seed(1)\n")
+        assert cli_main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "bad.py" in out
+
+    def test_cli_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        assert "FLT001" in capsys.readouterr().out

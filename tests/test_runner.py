@@ -30,13 +30,8 @@ CRASHING = SimulationConfig(protocol="opt", duration_s=50.0, n_sensors=3,
 
 
 def _replicate_dicts(agg):
-    """Replicate results minus the timing field that legitimately varies."""
-    out = []
-    for r in agg.replicates:
-        d = r.to_dict()
-        d.pop("wall_clock_s")
-        out.append(d)
-    return out
+    """Replicate result dicts (to_dict excludes wall-clock timing)."""
+    return [r.to_dict() for r in agg.replicates]
 
 
 def _summary_json(table):
