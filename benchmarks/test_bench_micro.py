@@ -13,6 +13,15 @@ from repro.core.ftd import receiver_copy_ftd, sender_ftd_after_multicast
 from repro.des import EventScheduler
 from repro.mobility import Area, MobilityManager, ZoneGridMobility
 from repro.des.rng import RandomStreams
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_simulation
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import FrameTx
+
+#: Reduced-scale run shared by the telemetry on/off pair below, so the
+#: two timings differ only in the telemetry flag.
+_TELEMETRY_BENCH = dict(protocol="opt", n_sensors=20, n_sinks=2,
+                        duration_s=400.0, seed=9)
 
 
 def test_event_scheduler_throughput(benchmark):
@@ -96,6 +105,46 @@ def test_neighbor_queries(benchmark):
         return total
 
     benchmark(run)
+
+
+def test_simulation_telemetry_off(benchmark):
+    """Full reduced-scale run on the default (telemetry-disabled) path.
+
+    Pairs with :func:`test_simulation_telemetry_on`; the gap between the
+    two is the cost of enabling the bus + metrics + span subscribers
+    (``benchmarks/obs_overhead.py`` writes the same comparison to
+    ``BENCH_obs.json``).
+    """
+    def run():
+        return run_simulation(SimulationConfig(**_TELEMETRY_BENCH))
+
+    assert benchmark(run).messages_generated > 0
+
+
+def test_simulation_telemetry_on(benchmark):
+    """The same run with the telemetry bus and standard subscribers on."""
+    def run():
+        return run_simulation(SimulationConfig(telemetry=True,
+                                               **_TELEMETRY_BENCH))
+
+    result = benchmark(run)
+    assert result.telemetry is not None
+
+
+def test_bus_emit_dispatch(benchmark):
+    """Raw bus dispatch cost with one topic subscriber."""
+    bus = TelemetryBus()
+    seen = [0]
+    bus.subscribe(FrameTx.topic, lambda e: seen.__setitem__(0, seen[0] + 1))
+    event = FrameTx(time=0.0, node=1, frame_kind="data", src=1, dst=None,
+                    message_id=None, bits=1000)
+
+    def run():
+        for _ in range(10_000):
+            bus.emit(event)
+        return bus.events_emitted
+
+    assert benchmark(run) > 0
 
 
 def test_rng_stream_derivation(benchmark):

@@ -20,8 +20,7 @@ Usage::
 import sys
 from collections import Counter, defaultdict
 
-from repro import SimulationConfig
-from repro.network.simulation import Simulation
+from repro.api import Simulation, SimulationConfig
 
 
 def zone_of(sim, origin: int):

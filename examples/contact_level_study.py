@@ -19,19 +19,21 @@ Usage::
 import random
 import sys
 
-from repro.analysis.dtn_models import (
+from repro.api import (
+    Area,
+    ContactSimConfig,
+    ContactTracer,
+    EventScheduler,
+    MobilityManager,
+    StationaryMobility,
+    ZoneGridMobility,
     direct_expected_delay,
     epidemic_expected_delay,
-    pair_contact_rate,
-)
-from repro.contact import ContactSimConfig, ContactTracer
-from repro.contact.simulator import run_contact_simulation
-from repro.des import EventScheduler
-from repro.harness.contact_experiments import (
     format_policy_comparison,
+    pair_contact_rate,
     policy_comparison,
+    run_contact_simulation,
 )
-from repro.mobility import Area, MobilityManager, StationaryMobility, ZoneGridMobility
 
 
 def measure_contact_rates(duration: float):

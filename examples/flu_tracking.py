@@ -20,9 +20,7 @@ Usage::
 
 import sys
 
-from repro import SimulationConfig
-from repro.network.simulation import Simulation
-from repro.traffic import BurstTraffic
+from repro.api import BurstTraffic, Simulation, SimulationConfig
 
 
 def run(protocol: str, duration: float):

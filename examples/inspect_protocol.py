@@ -1,12 +1,14 @@
 #!/usr/bin/env python
 """Inspect a run from the inside: time series and frame-level traces.
 
-Demonstrates the observability substrate:
+Demonstrates the observability substrate (see docs/OBSERVABILITY.md):
+every probe below is a subscriber on the simulation's telemetry bus.
 
-* :class:`~repro.metrics.timeseries.TimeSeriesProbe` — how delivery
-  ratio, queue occupancy, the xi field and power evolve over the run;
-* :class:`~repro.trace.TraceRecorder` — frame-level flight recorder,
-  with a per-message journey report and channel-usage breakdown.
+* :class:`~repro.api.TimeSeriesProbe` — how delivery ratio, queue
+  occupancy, the xi field and power evolve over the run;
+* :class:`~repro.api.TraceRecorder` — frame-level flight recorder,
+  with a per-message journey report and channel-usage breakdown;
+* the per-phase span summary collected by the simulation itself.
 
 Usage::
 
@@ -15,20 +17,25 @@ Usage::
 
 import sys
 
-from repro import SimulationConfig, Simulation
-from repro.metrics.timeseries import TimeSeriesProbe
-from repro.radio.frames import FrameKind
-from repro.trace import TraceRecorder, channel_usage, message_journey, node_activity
+from repro.api import (
+    FrameKind,
+    Simulation,
+    SimulationConfig,
+    TimeSeriesProbe,
+    TraceRecorder,
+    channel_usage,
+    message_journey,
+    node_activity,
+)
 
 
 def main() -> None:
     duration = float(sys.argv[1]) if len(sys.argv) > 1 else 1500.0
     sim = Simulation(SimulationConfig(protocol="opt", duration_s=duration,
                                       seed=11, n_sensors=60, n_sinks=3))
-    probe = TimeSeriesProbe(sim, period_s=duration / 8)
-    probe.arm()
-    recorder = TraceRecorder(sim, frame_kinds={FrameKind.DATA})
-    recorder.install()
+    probe = TimeSeriesProbe.attach(sim, period_s=duration / 8)
+    recorder = TraceRecorder(bus=sim.enable_telemetry(),
+                             frame_kinds={FrameKind.DATA})
 
     result = sim.run()
 
@@ -48,6 +55,11 @@ def main() -> None:
     print()
     print("=== busiest nodes ===")
     print(node_activity(recorder, top=5))
+    print()
+    print("=== protocol phase spans ===")
+    for phase, stats in sim.spans.summary().items():
+        print(f"  {phase:<8} count {stats['count']:>5}  "
+              f"mean {stats['mean_s']:.2f} s")
     print()
     print(f"run summary: ratio {result.delivery_ratio:.1%}, "
           f"power {result.average_power_mw:.2f} mW")

@@ -15,7 +15,8 @@ Usage::
     python examples/optimization_tuning.py
 """
 
-from repro.analysis import (
+from repro.api import (
+    BERKELEY_MOTE,
     cts_collision_probability,
     min_contention_window,
     min_sleep_period,
@@ -23,7 +24,6 @@ from repro.analysis import (
     rts_collision_probability,
     sigma_slots,
 )
-from repro.energy import BERKELEY_MOTE
 
 
 def sleep_bounds() -> None:

@@ -12,7 +12,7 @@ Usage::
 
 import sys
 
-from repro.harness.figures import FIG2_PROTOCOLS, fig2, format_fig2_report
+from repro.api import FIG2_PROTOCOLS, fig2, format_fig2_report
 
 
 def main() -> None:

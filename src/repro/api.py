@@ -1,0 +1,165 @@
+"""Stable public facade of the reproduction package.
+
+``repro.api`` is the supported import surface: everything an
+experiment script, notebook, or downstream tool should need, re-exported
+from one module.  The deep module paths (``repro.network.simulation``,
+``repro.harness.runner``, ...) remain importable but are internal — they
+may move between releases; the names below will not.  All bundled
+``examples/*.py`` import exclusively from here.
+
+The surface covers five layers:
+
+* **Configure & run** — :class:`SimulationConfig`,
+  :class:`ProtocolParameters`, :func:`run_simulation`,
+  :class:`Simulation`, :class:`SimulationResult`.
+* **Batch execution** — :func:`run_replicated`, :func:`sweep`,
+  :class:`SerialRunner`, :class:`ProcessPoolRunner`,
+  :class:`TracingRunner`, :class:`Checkpoint`.
+* **Telemetry** — :class:`TelemetryBus`, :class:`MetricsRegistry`,
+  :class:`SpanTracker`, :class:`TraceRecorder`, :class:`TimeSeriesProbe`
+  and the trace reports (see ``docs/OBSERVABILITY.md``).
+* **Closed-form analysis** (paper Sec. 4) — the ``min_*`` /
+  ``*_collision_probability`` family and the DTN delay models.
+* **Contact-level simulation** — :class:`ContactSimConfig`,
+  :func:`run_contact_simulation`, :func:`policy_comparison` and the
+  mobility building blocks.
+"""
+
+from __future__ import annotations
+
+# -- configure & run -------------------------------------------------------
+from repro.core.params import ProtocolParameters
+from repro.network.config import PROTOCOLS, SimulationConfig
+from repro.network.simulation import (
+    Simulation,
+    SimulationResult,
+    run_simulation,
+)
+
+# -- batch execution -------------------------------------------------------
+from repro.harness.experiment import run_replicated, sweep
+from repro.harness.runner import (
+    Job,
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+    TracingRunner,
+)
+from repro.harness.serialize import Checkpoint
+
+# -- figures / experiment harness ------------------------------------------
+from repro.harness.contact_experiments import (
+    format_policy_comparison,
+    policy_comparison,
+)
+from repro.harness.figures import FIG2_PROTOCOLS, fig2, format_fig2_report
+
+# -- telemetry -------------------------------------------------------------
+from repro.metrics.timeseries import TimeSeriesProbe
+from repro.obs.bus import TelemetryBus
+from repro.obs.export import (
+    CsvTraceWriter,
+    JsonlTraceWriter,
+    read_trace,
+    writer_for_path,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import render_report
+from repro.obs.spans import Span, SpanTracker
+from repro.radio.frames import FrameKind
+from repro.trace import (
+    TraceRecorder,
+    channel_usage,
+    message_journey,
+    node_activity,
+)
+
+# -- closed-form analysis (Sec. 4) -----------------------------------------
+from repro.analysis import (
+    cts_collision_probability,
+    min_contention_window,
+    min_sleep_period,
+    min_tau_max,
+    rts_collision_probability,
+    sigma_slots,
+)
+from repro.analysis.dtn_models import (
+    direct_expected_delay,
+    epidemic_expected_delay,
+    pair_contact_rate,
+)
+
+# -- contact-level simulation & mobility -----------------------------------
+from repro.contact import ContactSimConfig, ContactTracer
+from repro.contact.simulator import run_contact_simulation
+from repro.des import EventScheduler
+from repro.energy import BERKELEY_MOTE
+from repro.mobility import (
+    Area,
+    MobilityManager,
+    StationaryMobility,
+    ZoneGridMobility,
+)
+from repro.traffic import BurstTraffic
+
+__all__ = [
+    # configure & run
+    "ProtocolParameters",
+    "PROTOCOLS",
+    "SimulationConfig",
+    "Simulation",
+    "SimulationResult",
+    "run_simulation",
+    # batch execution
+    "run_replicated",
+    "sweep",
+    "Job",
+    "Runner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "TracingRunner",
+    "Checkpoint",
+    # figures / experiment harness
+    "FIG2_PROTOCOLS",
+    "fig2",
+    "format_fig2_report",
+    "policy_comparison",
+    "format_policy_comparison",
+    # telemetry
+    "TelemetryBus",
+    "MetricsRegistry",
+    "SpanTracker",
+    "Span",
+    "JsonlTraceWriter",
+    "CsvTraceWriter",
+    "writer_for_path",
+    "read_trace",
+    "render_report",
+    "TimeSeriesProbe",
+    "TraceRecorder",
+    "FrameKind",
+    "channel_usage",
+    "message_journey",
+    "node_activity",
+    # closed-form analysis
+    "sigma_slots",
+    "rts_collision_probability",
+    "cts_collision_probability",
+    "min_contention_window",
+    "min_sleep_period",
+    "min_tau_max",
+    "direct_expected_delay",
+    "epidemic_expected_delay",
+    "pair_contact_rate",
+    # contact-level simulation & mobility
+    "ContactSimConfig",
+    "ContactTracer",
+    "run_contact_simulation",
+    "EventScheduler",
+    "BERKELEY_MOTE",
+    "Area",
+    "MobilityManager",
+    "StationaryMobility",
+    "ZoneGridMobility",
+    "BurstTraffic",
+]

@@ -36,7 +36,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Type
 
 #: Packages whose modules form the deterministic simulation core; the
 #: DET002/DET003 rules apply only inside these.
-SIM_PACKAGES = frozenset({"core", "des", "network", "contact"})
+SIM_PACKAGES = frozenset({"core", "des", "network", "contact", "obs"})
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
 

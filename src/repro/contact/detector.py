@@ -8,10 +8,13 @@ contact trace for analysis) or drive the contact-level simulator.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.mobility.manager import MobilityManager
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import ContactEnd, ContactStart
 
 
 @dataclass(frozen=True)
@@ -36,10 +39,12 @@ class Contact:
 class ContactTracer:
     """Walks mobility forward and reports contact starts/ends.
 
-    ``on_contact_start(a, b, t)`` / ``on_contact_end(a, b, t_start, t)``
-    callbacks fire as pairs come into and out of range; :meth:`run`
-    returns the list of completed contacts (open contacts are closed at
-    the horizon).
+    The supported event path is :meth:`subscribe`, which publishes
+    :class:`~repro.obs.events.ContactStart` / ``ContactEnd`` on a
+    telemetry bus.  The legacy ``on_contact_start(a, b, t)`` /
+    ``on_contact_end(a, b, t_start, t)`` constructor callbacks still
+    fire but are deprecated.  :meth:`run` returns the list of completed
+    contacts (open contacts are closed at the horizon).
     """
 
     def __init__(
@@ -48,38 +53,61 @@ class ContactTracer:
         on_contact_start: Optional[Callable[[int, int, float], None]] = None,
         on_contact_end: Optional[Callable[[int, int, float, float], None]] = None,
     ) -> None:
+        if on_contact_start is not None or on_contact_end is not None:
+            warnings.warn(
+                "ContactTracer constructor callbacks are deprecated; "
+                "use ContactTracer.subscribe(bus) and listen on the "
+                "contact.start / contact.end topics",
+                DeprecationWarning, stacklevel=2)
         self._mobility = mobility
         self._on_start = on_contact_start
         self._on_end = on_contact_end
-        self._active: Dict[FrozenSet[int], float] = {}
+        self._bus: Optional[TelemetryBus] = None
+        # Open contacts keyed by the (a, b) pair with a < b; tuples sort
+        # directly, so the scan needs no per-pair re-sorting.
+        self._active: Dict[Tuple[int, int], float] = {}
         self.contacts: List[Contact] = []
+
+    def subscribe(self, bus: TelemetryBus) -> None:
+        """Publish contact start/end events on ``bus`` from now on."""
+        self._bus = bus
 
     @property
     def active_pairs(self) -> Set[FrozenSet[int]]:
         """Pairs currently within range (open contacts)."""
-        return set(self._active)
+        return {frozenset(pair) for pair in self._active}
 
     def scan(self, now: float) -> None:
         """Compare the current in-range pairs against the active set."""
-        current: Set[FrozenSet[int]] = set()
+        current: Set[Tuple[int, int]] = set()
         for node in self._mobility.node_ids:
             for other in self._mobility.neighbors_of(node):
                 if other > node:
-                    current.add(frozenset((node, other)))
+                    current.add((node, other))
 
-        # Iterate set differences in sorted pair order: set iteration
-        # order is hash-dependent (DET003), and the start/end callbacks
-        # feed the contact-level simulator's scheduling.
-        for pair in sorted(current - set(self._active), key=sorted):
+        # One symmetric difference over already-sorted pairs, iterated in
+        # sorted order: set iteration order is hash-dependent (DET003),
+        # and the start/end events feed the contact-level simulator's
+        # scheduling.  Starts are processed before ends, as always.
+        changed = sorted(current.symmetric_difference(self._active))
+        bus = self._bus
+        for pair in changed:
+            if pair not in current:
+                continue
             self._active[pair] = now
+            a, b = pair
+            if bus is not None:
+                bus.emit(ContactStart(time=now, a=a, b=b))
             if self._on_start is not None:
-                a, b = sorted(pair)
                 self._on_start(a, b, now)
-
-        for pair in sorted(set(self._active) - current, key=sorted):
+        for pair in changed:
+            if pair in current:
+                continue
             started = self._active.pop(pair)
-            a, b = sorted(pair)
+            a, b = pair
             self.contacts.append(Contact(a, b, started, now))
+            if bus is not None:
+                bus.emit(ContactEnd(time=now, a=a, b=b, started=started))
             if self._on_end is not None:
                 self._on_end(a, b, started, now)
 
@@ -99,10 +127,12 @@ class ContactTracer:
 
     def close(self, now: float) -> None:
         """Close any still-open contacts at time ``now``."""
-        for pair, started in sorted(self._active.items(),
-                                    key=lambda kv: sorted(kv[0])):
-            a, b = sorted(pair)
+        bus = self._bus
+        for pair, started in sorted(self._active.items()):
+            a, b = pair
             self.contacts.append(Contact(a, b, started, now))
+            if bus is not None:
+                bus.emit(ContactEnd(time=now, a=a, b=b, started=started))
             if self._on_end is not None:
                 self._on_end(a, b, started, now)
         self._active.clear()

@@ -34,6 +34,8 @@ from repro.mobility.base import Area
 from repro.mobility.manager import MobilityManager
 from repro.mobility.stationary import StationaryMobility
 from repro.mobility.zone import ZoneGridMobility
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import ContactEnd, TelemetryEvent
 
 #: Registry of contact-level policies.
 CONTACT_POLICIES: Dict[str, Type[ContactPolicy]] = {
@@ -136,8 +138,16 @@ class ContactSimulation:
         self._arrivals = self._generate_arrivals(streams, sensor_ids)
         self.transfers = 0
         self.usable_contacts = 0
-        self._tracer = ContactTracer(self.mobility,
-                                     on_contact_end=self._on_contact_end)
+        # The exchange logic is itself a bus subscriber: the simulator
+        # consumes the same contact.end events a trace exporter would.
+        self.bus = TelemetryBus()
+        self._tracer = ContactTracer(self.mobility)
+        self._tracer.subscribe(self.bus)
+        self.bus.subscribe(ContactEnd.topic, self._on_contact_end_event)
+
+    def _on_contact_end_event(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, ContactEnd)
+        self._on_contact_end(event.a, event.b, event.started, event.time)
 
     # ------------------------------------------------------------------
     # workload

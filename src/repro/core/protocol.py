@@ -35,6 +35,8 @@ from repro.core.sleep import SleepScheduler
 from repro.des.event import Event
 from repro.des.scheduler import EventScheduler
 from repro.metrics.collector import MetricsCollector
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import PhaseEnter, PhaseExit
 from repro.radio.frames import Ack, Cts, DataFrame, Frame, FrameKind, Preamble, Rts, Schedule
 from repro.radio.states import RadioState
 from repro.radio.transceiver import Transceiver
@@ -151,6 +153,45 @@ class MacAgent:
         # While lingering after an LPL reception, stay awake until this
         # deadline even if intermediate exchanges come to nothing.
         self._linger_deadline = float("-inf")
+        # Telemetry: the currently open protocol-phase span, if any.
+        self._bus: Optional[TelemetryBus] = None
+        self._obs_phase: Optional[str] = None
+        self._obs_phase_t0 = 0.0
+
+    # ==================================================================
+    # telemetry
+    # ==================================================================
+    def bind_telemetry(self, bus: TelemetryBus) -> None:
+        """Emit phase spans (and bind queue/meter) on ``bus`` from now on.
+
+        Phases are sender-side: ``async`` covers carrier sense through
+        the CTS window, ``sync`` the SCHEDULE→DATA→ACK round.  Sleep
+        spans come from the energy meter's wake events.
+        """
+        self._bus = bus
+        self.queue.bind_telemetry(bus, self.node_id,
+                                  lambda: self.scheduler.now)
+        self.radio.meter.bind_telemetry(bus, self.node_id)
+
+    def _phase_begin(self, phase: str) -> None:
+        bus = self._bus
+        if bus is None:
+            return
+        now = self.scheduler.now
+        self._obs_phase = phase
+        self._obs_phase_t0 = now
+        bus.emit(PhaseEnter(time=now, node=self.node_id, phase=phase))
+
+    def _phase_end(self, outcome: str) -> None:
+        bus = self._bus
+        phase = self._obs_phase
+        if bus is None or phase is None:
+            return
+        now = self.scheduler.now
+        self._obs_phase = None
+        bus.emit(PhaseExit(time=now, node=self.node_id, phase=phase,
+                           duration_s=now - self._obs_phase_t0,
+                           outcome=outcome))
 
     # ==================================================================
     # policy hooks (overridden by protocol variants)
@@ -210,6 +251,7 @@ class MacAgent:
         if self.failed:
             return
         self.failed = True
+        self._phase_end("interrupted")
         self._cancel_pending()
         if self._sleep_wake_event is not None:
             self._sleep_wake_event.cancel()
@@ -271,6 +313,7 @@ class MacAgent:
             return
 
         self.state = AgentState.LISTEN
+        self._phase_begin("async")
         slots = self.listen_policy.draw_listen_slots(
             self.rng, self.advertised_metric()
         )
@@ -293,6 +336,7 @@ class MacAgent:
             # missed transmission opportunity (we may be about to serve
             # as a receiver), so it does not feed the Sec. 4.1 idle count.
             self.stats.busy_give_ups += 1
+            self._phase_end("busy")
             self._end_cycle(transacted=False, countable=False)
             return
         head = self.queue.peek()
@@ -377,11 +421,14 @@ class MacAgent:
                             assignments=dict(self._assignments),
                             message_id=head.message_id)
         self.state = AgentState.SYNC_TX
+        self._phase_end("advance")
+        self._phase_begin("sync")
         self.stats.schedules_sent += 1
         self.radio.transmit(schedule, on_done=self._schedule_sent)
 
     def _fail_attempt(self) -> None:
         self.stats.failed_attempts += 1
+        self._phase_end("failed")
         self._end_cycle(transacted=False)
 
     def _schedule_sent(self) -> None:
@@ -415,10 +462,14 @@ class MacAgent:
                 self.stats.sink_deliveries_direct += 1
         else:
             self.stats.failed_attempts += 1
+        self._phase_end("confirmed" if confirmed else "no_acks")
         self._end_cycle(transacted=bool(confirmed))
 
     def _end_cycle(self, transacted: bool, countable: bool = True) -> None:
         """Close a cycle, run the Sec. 4.1 sleep rule, start the next."""
+        # A span still open here means the attempt was abandoned mid-phase
+        # (preamble overheard, rx timeout, head vanished, ...).
+        self._phase_end("interrupted")
         self._cancel_pending()
         self._head = None
         self._phi = []

@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.message import MessageCopy
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import QueueDrop
 
 
 @dataclass
@@ -53,6 +55,27 @@ class FtdQueue:
         self._copies: List[MessageCopy] = []
         self._seq = 0
         self.stats = QueueStats()
+        self._bus: Optional[TelemetryBus] = None
+        self._node_id = -1
+        self._now: Callable[[], float] = lambda: 0.0
+
+    def bind_telemetry(self, bus: TelemetryBus, node_id: int,
+                       now: Callable[[], float]) -> None:
+        """Emit :class:`QueueDrop` events on ``bus`` from now on.
+
+        The queue has no clock of its own, so the owner supplies the
+        simulated-time callable ``now``.
+        """
+        self._bus = bus
+        self._node_id = node_id
+        self._now = now
+
+    def _emit_drop(self, copy: MessageCopy, cause: str) -> None:
+        bus = self._bus
+        if bus is not None:
+            bus.emit(QueueDrop(
+                time=self._now(), node=self._node_id,
+                message_id=copy.message_id, cause=cause, ftd=copy.ftd))
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -84,6 +107,7 @@ class FtdQueue:
         """
         if copy.ftd >= self.drop_threshold:
             self.stats.drops_threshold += 1
+            self._emit_drop(copy, "threshold")
             return False
 
         existing = self._find(copy.message_id)
@@ -102,8 +126,9 @@ class FtdQueue:
         self._insort(copy)
         self.stats.inserted += 1
         if len(self._copies) > self.capacity:
-            self._pop_index(len(self._copies) - 1)
+            dropped = self._pop_index(len(self._copies) - 1)
             self.stats.drops_overflow += 1
+            self._emit_drop(dropped, "overflow")
             # The incoming copy may itself have been the tail just dropped.
             return self._find(copy.message_id) is not None
         return True
@@ -137,12 +162,14 @@ class FtdQueue:
                               hops=copy.hops, received_at=copy.received_at)
         if updated.ftd >= self.drop_threshold:
             self.stats.drops_threshold += 1
+            self._emit_drop(updated, "threshold")
             return False
         self._insort(updated)
         self.stats.reinserted += 1
         if len(self._copies) > self.capacity:
-            self._pop_index(len(self._copies) - 1)
+            dropped = self._pop_index(len(self._copies) - 1)
             self.stats.drops_overflow += 1
+            self._emit_drop(dropped, "overflow")
             return self._find(updated.message_id) is not None
         return True
 

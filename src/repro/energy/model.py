@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import RadioSleep, RadioWake
 from repro.radio.states import RadioState
 
 
@@ -79,6 +81,14 @@ class EnergyMeter:
         self.lpl_switches: int = 0
         self.per_state_mj: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
         self.per_state_s: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
+        self._bus: Optional[TelemetryBus] = None
+        self._node_id = -1
+        self._sleep_started = 0.0
+
+    def bind_telemetry(self, bus: TelemetryBus, node_id: int) -> None:
+        """Emit sleep/wake events for ``node_id`` on ``bus`` from now on."""
+        self._bus = bus
+        self._node_id = node_id
 
     @property
     def state(self) -> RadioState:
@@ -102,6 +112,16 @@ class EnergyMeter:
             else:
                 self.consumed_mj += self.profile.switch_energy_mj
                 self.switches += 1
+            bus = self._bus
+            if bus is not None:
+                if new_state is RadioState.SLEEPING:
+                    self._sleep_started = now
+                    bus.emit(RadioSleep(time=now, node=self._node_id,
+                                        lpl=lpl_cheap))
+                else:
+                    bus.emit(RadioWake(time=now, node=self._node_id,
+                                       slept_s=now - self._sleep_started,
+                                       lpl=lpl_cheap))
         self._state = new_state
         self._state_since = now
 

@@ -72,6 +72,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="assert the protocol invariants during every "
                             "run (sets REPRO_CHECK_INVARIANTS, so worker "
                             "processes check too)")
+    run_p.add_argument("--trace", metavar="DIR", default=None,
+                       help="write one telemetry trace file (JSONL) per "
+                            "run into DIR; inspect with 'dftmsn report'")
 
     single_p = sub.add_parser("single", help="run one simulation")
     single_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
@@ -87,6 +90,16 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="assert the protocol invariants (Eq. 1-3, "
                                "queue order, buffer bounds, conservation) "
                                "during the run")
+    single_p.add_argument("--trace", metavar="PATH", default=None,
+                          help="stream the telemetry trace to PATH "
+                               "(JSONL, or CSV when PATH ends in .csv)")
+
+    report_p = sub.add_parser(
+        "report", help="summarize a telemetry trace (per-phase spans, "
+                       "frame counts, drop causes)")
+    report_p.add_argument("trace",
+                          help="a trace file from --trace, or a directory "
+                               "of them (all *.jsonl/*.csv are merged)")
 
     contact_p = sub.add_parser(
         "contact", help="contact-level (ideal-MAC) policy comparison")
@@ -148,6 +161,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         os.environ[ENV_FLAG] = "1"
     progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr)
     runner = runner_for_workers(args.workers)
+    if args.trace:
+        from repro.harness.runner import TracingRunner
+
+        runner = TracingRunner(runner, args.trace)
     checkpoint = None
     if args.checkpoint:
         import pathlib
@@ -180,6 +197,8 @@ def _cmd_single(args: argparse.Namespace) -> int:
         seed=args.seed,
         speed_max_mps=args.speed_max,
         check_invariants=args.check_invariants,
+        telemetry=args.trace is not None,
+        trace_path=args.trace,
     )
     result = run_simulation(config)
     if args.json:
@@ -196,6 +215,35 @@ def _cmd_single(args: argparse.Namespace) -> int:
         print(f"avg power (mW)    {d['average_power_mw']:.3f}")
         print(f"transmissions     {d['transmissions']}")
         print(f"collision frames  {d['frames_corrupted']}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs.report import render_report
+    from repro.obs.export import read_trace
+
+    root = pathlib.Path(args.trace)
+    if root.is_dir():
+        files = sorted(p for p in root.iterdir()
+                       if p.suffix.lower() in (".jsonl", ".csv"))
+        if not files:
+            print(f"no trace files (*.jsonl / *.csv) in {root}",
+                  file=sys.stderr)
+            return 1
+    elif root.is_file():
+        files = [root]
+    else:
+        print(f"no such trace file or directory: {root}", file=sys.stderr)
+        return 1
+    events = []
+    for path in files:
+        events.extend(read_trace(path))
+    if len(files) > 1:
+        print(f"(merged {len(files)} trace files from {root})",
+              file=sys.stderr)
+    print(render_report(events))
     return 0
 
 
@@ -238,6 +286,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "single":
         return _cmd_single(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "contact":
         return _cmd_contact(args)
     if args.command == "crossval":

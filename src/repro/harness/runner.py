@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import traceback as _traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Union
 
 from repro.contact.simulator import run_contact_simulation
@@ -267,6 +268,47 @@ class ProcessPoolRunner(Runner):
                         progress(f"  completed {done}/{total} "
                                  f"({_describe(job)}, {note})")
         return outcomes
+
+
+class TracingRunner(Runner):
+    """Wrap another runner, tracing every packet-level job to disk.
+
+    Each packet job's config is rewritten with ``telemetry`` on and a
+    ``trace_path`` under ``trace_dir``, named by the first 16 hex chars
+    of the job's (pre-trace) run key, so re-runs of the same config
+    overwrite their own trace.  Contact-level jobs pass through
+    untouched (the contact simulator has no per-run trace file yet).
+    Works with any inner backend: the trace path travels inside the
+    config dict, so pool workers write traces too.
+    """
+
+    def __init__(self, inner: Runner, trace_dir: Union[str, Path]) -> None:
+        self.inner = inner
+        self.trace_dir = Path(trace_dir)
+
+    def run_jobs(
+        self,
+        jobs: Sequence[Job],
+        progress: Progress = None,
+        checkpoint: Optional[Checkpoint] = None,
+    ) -> List[RunOutcome]:
+        """Rewrite packet jobs with trace paths, then delegate."""
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        traced = [self._with_trace(job) for job in jobs]
+        return self.inner.run_jobs(traced, progress=progress,
+                                   checkpoint=checkpoint)
+
+    def _with_trace(self, job: Job) -> Job:
+        if job.kind != "packet":
+            return job
+        config = job.config
+        assert isinstance(config, SimulationConfig)
+        # Key on the config *before* the trace path is added, so the
+        # file name does not depend on where the traces land.
+        key = run_key(job.kind, config.to_dict())[:16]
+        config = replace(config, telemetry=True,
+                         trace_path=str(self.trace_dir / f"{key}.jsonl"))
+        return Job(job.kind, config)
 
 
 def runner_for_workers(workers: int = 0) -> Runner:

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.message import MessageCopy
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import MessageDelivered, MessageGenerated
 
 
 @dataclass(frozen=True)
@@ -43,15 +45,25 @@ class MetricsCollector:
         self.generated: Dict[int, float] = {}  # message_id -> created_at
         self.deliveries: Dict[int, DeliveryRecord] = {}
         self.duplicate_deliveries = 0
+        self._bus: Optional[TelemetryBus] = None
+
+    def bind_telemetry(self, bus: TelemetryBus) -> None:
+        """Emit generation/delivery events on ``bus`` from now on."""
+        self._bus = bus
 
     # ------------------------------------------------------------------
     # event hooks
     # ------------------------------------------------------------------
-    def record_generation(self, message_id: int, created_at: float) -> None:
+    def record_generation(self, message_id: int, created_at: float,
+                          origin: int = -1) -> None:
         """A sensor generated a new message."""
         if message_id in self.generated:
             raise ValueError(f"message {message_id} generated twice")
         self.generated[message_id] = created_at
+        bus = self._bus
+        if bus is not None:
+            bus.emit(MessageGenerated(time=created_at, node=origin,
+                                      message_id=message_id))
 
     def record_delivery(self, copy: MessageCopy, sink_id: int,
                         now: float) -> None:
@@ -60,7 +72,7 @@ class MetricsCollector:
         if mid in self.deliveries:
             self.duplicate_deliveries += 1
             return
-        self.deliveries[mid] = DeliveryRecord(
+        record = DeliveryRecord(
             message_id=mid,
             origin=copy.message.origin,
             sink_id=sink_id,
@@ -68,6 +80,12 @@ class MetricsCollector:
             delivered_at=now,
             hops=copy.hops + 1,
         )
+        self.deliveries[mid] = record
+        bus = self._bus
+        if bus is not None:
+            bus.emit(MessageDelivered(time=now, node=sink_id,
+                                      message_id=mid, origin=record.origin,
+                                      delay_s=record.delay, hops=record.hops))
 
     # ------------------------------------------------------------------
     # derived metrics

@@ -72,6 +72,16 @@ class SimulationConfig:
     bandwidth_bps: float = 10_000.0
     queue_capacity: int = 200
 
+    # --- telemetry (repro.obs) --------------------------------------------------
+    #: Attach the telemetry bus (metrics registry + span tracker); the
+    #: aggregates land in ``SimulationResult.telemetry``.  Enabling
+    #: telemetry never changes simulation behaviour: a seeded run yields
+    #: a byte-identical ``SimulationResult.to_dict()`` either way.
+    telemetry: bool = False
+    #: Stream every bus event to this file (JSONL, or CSV for ``*.csv``).
+    #: Implies ``telemetry``.
+    trace_path: Optional[str] = None
+
     # --- correctness checking (repro.checks.invariants) ------------------------
     #: Assert the protocol invariants (Eq. 1-3, queue order, buffer
     #: bounds, clock monotonicity, copy conservation) during the run.

@@ -56,7 +56,8 @@ class SensorNode:
             created_at=self.scheduler.now,
             size_bits=self.message_bits,
         )
-        self.collector.record_generation(message.message_id, message.created_at)
+        self.collector.record_generation(message.message_id, message.created_at,
+                                         origin=self.node_id)
         self.agent.enqueue_message(message)
         return message
 

@@ -30,6 +30,10 @@ from repro.mobility.waypoint import RandomWaypointMobility
 from repro.mobility.zone import ZoneGridMobility
 from repro.network.config import SimulationConfig
 from repro.network.node import SensorNode, SinkNode
+from repro.obs.bus import TelemetryBus
+from repro.obs.export import writer_for_path
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracker
 from repro.radio.medium import WirelessMedium
 from repro.radio.timing import ChannelTiming
 from repro.radio.transceiver import Transceiver
@@ -57,6 +61,9 @@ class SimulationResult:
     agent_totals: Dict[str, int]
     events_fired: int
     wall_clock_s: float
+    #: Telemetry aggregates (metric snapshot + span summary) when the run
+    #: had ``config.telemetry`` on; None otherwise.
+    telemetry: Optional[Dict[str, object]] = None
 
     def transmissions_per_delivery(self) -> Optional[float]:
         """Transmission overhead: channel uses per delivered message."""
@@ -67,11 +74,12 @@ class SimulationResult:
     def to_dict(self) -> Dict[str, object]:
         """Plain-data view of the result (for JSON export).
 
-        Deliberately excludes ``wall_clock_s``: everything in this view
-        is a pure function of the seeded configuration, so two runs of
-        the same config produce byte-identical dicts (the determinism
-        regression test relies on this; the full lossless round trip
-        lives in :mod:`repro.harness.serialize`).
+        Deliberately excludes ``wall_clock_s`` and ``telemetry``:
+        everything in this view is a pure function of the seeded
+        configuration *and independent of whether telemetry was on*, so
+        two runs of the same config produce byte-identical dicts (the
+        determinism regression test relies on this; the full lossless
+        round trip lives in :mod:`repro.harness.serialize`).
         """
         return {
             "protocol": self.config.protocol,
@@ -119,8 +127,37 @@ class Simulation:
         #: Invariant sweeps performed by the last :meth:`run` (0 when
         #: checking was disabled).
         self.invariant_checks_run = 0
+        #: Telemetry plumbing; None until :meth:`enable_telemetry`.
+        self.bus: Optional[TelemetryBus] = None
+        self.metrics: Optional[MetricsRegistry] = None
+        self.spans: Optional[SpanTracker] = None
         self._build_sinks()
         self._build_sensors()
+        if config.telemetry or config.trace_path is not None:
+            self.enable_telemetry()
+
+    def enable_telemetry(self) -> TelemetryBus:
+        """Attach the telemetry bus to every instrumented layer.
+
+        Idempotent; returns the bus so callers can add subscribers.
+        Emitting events never touches the scheduler or any RNG, so an
+        instrumented run stays result-identical to a bare one.
+        """
+        if self.bus is not None:
+            return self.bus
+        bus = TelemetryBus()
+        self.bus = bus
+        self.metrics = MetricsRegistry()
+        self.metrics.bind(bus)
+        self.spans = SpanTracker()
+        self.spans.subscribe(bus)
+        self.medium.bind_telemetry(bus)
+        self.collector.bind_telemetry(bus)
+        for sink in self.sinks:
+            sink.agent.bind_telemetry(bus)
+        for sensor in self.sensors:
+            sensor.agent.bind_telemetry(bus)
+        return bus
 
     # ------------------------------------------------------------------
     # construction
@@ -239,6 +276,10 @@ class Simulation:
         counts the checker's sweep events.
         """
         started = time.perf_counter()  # lint: disable=DET002 (wall metric)
+        writer = None
+        if self.config.trace_path is not None:
+            writer = writer_for_path(self.config.trace_path)
+            writer.subscribe(self.enable_telemetry())
         checker: Optional[InvariantChecker] = None
         if self.config.check_invariants or invariants_forced():
             checker = InvariantChecker(
@@ -260,6 +301,8 @@ class Simulation:
         if checker is not None:
             checker.check_now()
             self.invariant_checks_run = checker.checks_run
+        if writer is not None:
+            writer.close()
         wall = time.perf_counter() - started  # lint: disable=DET002 (wall metric)
         return self._collect_result(wall)
 
@@ -279,6 +322,13 @@ class Simulation:
         drops_overflow = sum(s.queue.stats.drops_overflow for s in self.sensors)
         drops_threshold = sum(s.queue.stats.drops_threshold for s in self.sensors)
 
+        telemetry: Optional[Dict[str, object]] = None
+        if self.metrics is not None and self.spans is not None:
+            telemetry = {
+                "metrics": self.metrics.as_dict(),
+                "spans": self.spans.summary(),
+            }
+
         return SimulationResult(
             config=self.config,
             duration_s=duration,
@@ -297,6 +347,7 @@ class Simulation:
             agent_totals=totals,
             events_fired=self.scheduler.events_fired,
             wall_clock_s=wall_clock_s,
+            telemetry=telemetry,
         )
 
 

@@ -1,0 +1,199 @@
+"""Typed telemetry events — one frozen dataclass per bus topic.
+
+Every event carries its simulated-time ``time`` stamp plus topic-specific
+payload fields; the class-level ``topic`` string is the bus routing key.
+Events are plain data (ints, floats, strings, ``None``) so that a trace
+line survives a JSON round trip losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base class of all bus events."""
+
+    #: Bus routing key; overridden per concrete event type.
+    topic: ClassVar[str] = ""
+
+    time: float
+
+
+# ----------------------------------------------------------------------
+# radio / channel layer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FrameTx(TelemetryEvent):
+    """A frame started transmitting (one event per channel use)."""
+
+    topic: ClassVar[str] = "frame.tx"
+
+    node: int
+    frame_kind: str
+    src: int
+    dst: Optional[int]
+    message_id: Optional[int]
+    bits: int
+
+
+@dataclass(frozen=True)
+class FrameRx(TelemetryEvent):
+    """A frame was decoded at a receiver (one event per receiver)."""
+
+    topic: ClassVar[str] = "frame.rx"
+
+    node: int
+    frame_kind: str
+    src: int
+    dst: Optional[int]
+    message_id: Optional[int]
+
+
+@dataclass(frozen=True)
+class FrameCollision(TelemetryEvent):
+    """An audible frame was corrupted at a receiver."""
+
+    topic: ClassVar[str] = "frame.collision"
+
+    node: int
+    frame_kind: str
+    src: int
+    dst: Optional[int]
+    message_id: Optional[int]
+
+
+@dataclass(frozen=True)
+class RadioSleep(TelemetryEvent):
+    """A radio entered the sleeping state.
+
+    ``lpl`` marks the cheap low-power-listening resume (no full radio
+    off sequence).
+    """
+
+    topic: ClassVar[str] = "radio.sleep"
+
+    node: int
+    lpl: bool
+
+
+@dataclass(frozen=True)
+class RadioWake(TelemetryEvent):
+    """A radio left the sleeping state; ``slept_s`` is the interval."""
+
+    topic: ClassVar[str] = "radio.wake"
+
+    node: int
+    slept_s: float
+    lpl: bool
+
+
+# ----------------------------------------------------------------------
+# contact layer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ContactStart(TelemetryEvent):
+    """Nodes ``a < b`` came within communication range."""
+
+    topic: ClassVar[str] = "contact.start"
+
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class ContactEnd(TelemetryEvent):
+    """Nodes ``a < b`` left range; the contact spanned [started, time]."""
+
+    topic: ClassVar[str] = "contact.end"
+
+    a: int
+    b: int
+    started: float
+
+    @property
+    def duration(self) -> float:
+        """Seconds the pair stayed within range."""
+        return self.time - self.started
+
+
+# ----------------------------------------------------------------------
+# queue layer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueueDrop(TelemetryEvent):
+    """A message copy was dropped from a node's queue.
+
+    ``cause`` is ``"overflow"`` (capacity eviction) or ``"threshold"``
+    (FTD past the drop threshold, Sec. 3.1.2).
+    """
+
+    topic: ClassVar[str] = "queue.drop"
+
+    node: int
+    message_id: int
+    cause: str
+    ftd: float
+
+
+# ----------------------------------------------------------------------
+# protocol phases (spans)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseEnter(TelemetryEvent):
+    """A node entered a protocol phase (``async`` / ``sync`` )."""
+
+    topic: ClassVar[str] = "phase.enter"
+
+    node: int
+    phase: str
+
+
+@dataclass(frozen=True)
+class PhaseExit(TelemetryEvent):
+    """A node left a protocol phase after ``duration_s`` simulated
+    seconds; ``outcome`` names how the phase ended (e.g. ``advance``,
+    ``busy``, ``failed``, ``confirmed``, ``no_acks``, ``interrupted``).
+    """
+
+    topic: ClassVar[str] = "phase.exit"
+
+    node: int
+    phase: str
+    duration_s: float
+    outcome: str
+
+
+# ----------------------------------------------------------------------
+# delivery layer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MessageGenerated(TelemetryEvent):
+    """A sensor generated a fresh data message."""
+
+    topic: ClassVar[str] = "message.generated"
+
+    node: int
+    message_id: int
+
+
+@dataclass(frozen=True)
+class MessageDelivered(TelemetryEvent):
+    """A message first reached a sink (deduplicated by message id)."""
+
+    topic: ClassVar[str] = "message.delivered"
+
+    node: int  # the sink
+    message_id: int
+    origin: int
+    delay_s: float
+    hops: int
+
+
+def event_to_dict(event: TelemetryEvent) -> Dict[str, object]:
+    """Flat plain-data view of an event: ``topic`` plus its fields."""
+    out: Dict[str, object] = {"topic": event.topic}
+    out.update(event.__dict__)
+    return out

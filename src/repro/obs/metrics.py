@@ -1,0 +1,225 @@
+"""Metrics registry: counters, gauges and histograms fed by the bus.
+
+:meth:`MetricsRegistry.bind` installs the standard subscribers that turn
+the bus topics into named metrics (frame counts per kind, drop counts
+per cause, per-phase durations, contact durations, delivery delays).
+The registry is also usable standalone: any code can
+``registry.counter("x").inc()``.
+
+Snapshots (:meth:`MetricsRegistry.as_dict`) are sorted and JSON-plain,
+so two runs of the same seeded simulation produce byte-identical
+snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import (
+    ContactEnd,
+    ContactStart,
+    FrameCollision,
+    FrameRx,
+    FrameTx,
+    MessageDelivered,
+    MessageGenerated,
+    PhaseExit,
+    QueueDrop,
+    RadioSleep,
+    RadioWake,
+    TelemetryEvent,
+)
+
+#: Default histogram bucket upper bounds, in (simulated) seconds —
+#: wide enough for everything from one control slot to a full run.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with a running sum and count.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket
+    catches everything beyond the last edge.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be ascending")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.total += value
+        self.count += 1
+
+    def mean(self) -> Optional[float]:
+        """Mean observed value, or None with no observations."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # access / creation
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created at zero on first use)."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created at zero on first use)."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(bounds)
+        return metric
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic (sorted, JSON-plain) snapshot of every metric."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # bus feeding
+    # ------------------------------------------------------------------
+    def bind(self, bus: TelemetryBus) -> None:
+        """Subscribe the standard topic-to-metric feeders on ``bus``."""
+        bus.subscribe(FrameTx.topic, self._on_frame_tx)
+        bus.subscribe(FrameRx.topic, self._on_frame_rx)
+        bus.subscribe(FrameCollision.topic, self._on_frame_collision)
+        bus.subscribe(QueueDrop.topic, self._on_queue_drop)
+        bus.subscribe(PhaseExit.topic, self._on_phase_exit)
+        bus.subscribe(RadioSleep.topic, self._on_radio_sleep)
+        bus.subscribe(RadioWake.topic, self._on_radio_wake)
+        bus.subscribe(ContactStart.topic, self._on_contact_start)
+        bus.subscribe(ContactEnd.topic, self._on_contact_end)
+        bus.subscribe(MessageGenerated.topic, self._on_generated)
+        bus.subscribe(MessageDelivered.topic, self._on_delivered)
+
+    def _on_frame_tx(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, FrameTx)
+        self.counter(f"frames_tx.{event.frame_kind}").inc()
+        self.counter("bits_sent").inc(event.bits)
+
+    def _on_frame_rx(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, FrameRx)
+        self.counter(f"frames_rx.{event.frame_kind}").inc()
+
+    def _on_frame_collision(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, FrameCollision)
+        self.counter(f"frames_collision.{event.frame_kind}").inc()
+
+    def _on_queue_drop(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, QueueDrop)
+        self.counter(f"queue_drops.{event.cause}").inc()
+
+    def _on_phase_exit(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, PhaseExit)
+        self.counter(f"phase.{event.phase}.{event.outcome}").inc()
+        self.histogram(f"phase_duration_s.{event.phase}").observe(
+            event.duration_s)
+
+    def _on_radio_sleep(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, RadioSleep)
+        self.counter("radio_sleeps.lpl" if event.lpl
+                     else "radio_sleeps.full").inc()
+
+    def _on_radio_wake(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, RadioWake)
+        self.counter("radio_wakes.lpl" if event.lpl
+                     else "radio_wakes.full").inc()
+        self.histogram("sleep_duration_s").observe(event.slept_s)
+
+    def _on_contact_start(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, ContactStart)
+        self.counter("contacts_started").inc()
+
+    def _on_contact_end(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, ContactEnd)
+        self.counter("contacts_ended").inc()
+        self.histogram("contact_duration_s").observe(event.duration)
+
+    def _on_generated(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, MessageGenerated)
+        self.counter("messages_generated").inc()
+
+    def _on_delivered(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, MessageDelivered)
+        self.counter("messages_delivered").inc()
+        self.histogram("delivery_delay_s").observe(event.delay_s)
+        self.histogram("delivery_hops",
+                       bounds=(1.0, 2.0, 3.0, 5.0, 8.0, 13.0)).observe(
+            float(event.hops))

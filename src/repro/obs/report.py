@@ -1,0 +1,148 @@
+"""Render per-phase / per-drop-cause tables from a trace.
+
+Backs the ``dftmsn report`` subcommand: takes the plain event dicts a
+trace file loads into (see :func:`repro.obs.export.read_trace`) and
+produces a deterministic text report.  Floats are rounded to three
+decimals so seeded golden files stay stable across platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _table(header: Tuple[str, ...], rows: Iterable[Tuple[str, ...]]) -> List[str]:
+    all_rows = [header] + [tuple(row) for row in rows]
+    widths = [max(len(row[col]) for row in all_rows)
+              for col in range(len(header))]
+    lines = []
+    for i, row in enumerate(all_rows):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+def render_report(events: List[Dict[str, object]]) -> str:
+    """Human-readable summary tables for a list of trace event dicts."""
+    lines: List[str] = [f"trace events: {len(events)}", ""]
+
+    # ------------------------------------------------------------------
+    # frames by kind
+    # ------------------------------------------------------------------
+    frame_counts: Dict[str, Dict[str, int]] = {}
+    for event in events:
+        topic = event["topic"]
+        if topic in ("frame.tx", "frame.rx", "frame.collision"):
+            kind = str(event["frame_kind"])
+            per_kind = frame_counts.setdefault(kind, {})
+            per_kind[str(topic)] = per_kind.get(str(topic), 0) + 1
+    lines.append("frames by kind")
+    if frame_counts:
+        lines.extend(_table(
+            ("kind", "tx", "rx", "collisions"),
+            ((kind,
+              str(frame_counts[kind].get("frame.tx", 0)),
+              str(frame_counts[kind].get("frame.rx", 0)),
+              str(frame_counts[kind].get("frame.collision", 0)))
+             for kind in sorted(frame_counts))))
+    else:
+        lines.append("  (no frame events)")
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    # queue drops by cause
+    # ------------------------------------------------------------------
+    drop_counts: Dict[str, int] = {}
+    for event in events:
+        if event["topic"] == "queue.drop":
+            cause = str(event["cause"])
+            drop_counts[cause] = drop_counts.get(cause, 0) + 1
+    lines.append("queue drops by cause")
+    if drop_counts:
+        lines.extend(_table(
+            ("cause", "drops"),
+            ((cause, str(drop_counts[cause]))
+             for cause in sorted(drop_counts))))
+    else:
+        lines.append("  (no queue drops)")
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    # protocol phase spans (phase.exit carries the duration; sleep spans
+    # come from radio.wake)
+    # ------------------------------------------------------------------
+    phase_stats: Dict[str, Dict[str, object]] = {}
+
+    def _span(phase: str, duration: float, outcome: str) -> None:
+        stats = phase_stats.setdefault(
+            phase, {"count": 0, "total": 0.0, "outcomes": {}})
+        stats["count"] = int(stats["count"]) + 1  # type: ignore[arg-type]
+        stats["total"] = float(stats["total"]) + duration  # type: ignore[arg-type]
+        outcomes = stats["outcomes"]
+        assert isinstance(outcomes, dict)
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+
+    for event in events:
+        topic = event["topic"]
+        if topic == "phase.exit":
+            _span(str(event["phase"]), float(event["duration_s"]),  # type: ignore[arg-type]
+                  str(event["outcome"]))
+        elif topic == "radio.wake":
+            _span("sleep", float(event["slept_s"]),  # type: ignore[arg-type]
+                  "lpl" if event.get("lpl") else "full")
+    lines.append("protocol phase spans")
+    if phase_stats:
+        rows = []
+        for phase in sorted(phase_stats):
+            stats = phase_stats[phase]
+            count = int(stats["count"])  # type: ignore[arg-type]
+            total = float(stats["total"])  # type: ignore[arg-type]
+            outcomes = stats["outcomes"]
+            assert isinstance(outcomes, dict)
+            breakdown = " ".join(f"{name}={outcomes[name]}"
+                                 for name in sorted(outcomes))
+            rows.append((phase, str(count), _fmt(total),
+                         _fmt(total / count), breakdown))
+        lines.extend(_table(
+            ("phase", "count", "total_s", "mean_s", "outcomes"), rows))
+    else:
+        lines.append("  (no phase spans)")
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    # contacts
+    # ------------------------------------------------------------------
+    starts = sum(1 for e in events if e["topic"] == "contact.start")
+    ends = [e for e in events if e["topic"] == "contact.end"]
+    lines.append("contacts")
+    lines.append(f"  started: {starts}  ended: {len(ends)}")
+    if ends:
+        durations = [float(e["time"]) - float(e["started"])  # type: ignore[arg-type]
+                     for e in ends]
+        lines.append(
+            f"  mean duration: {_fmt(sum(durations) / len(durations))} s")
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    # deliveries
+    # ------------------------------------------------------------------
+    generated = sum(1 for e in events if e["topic"] == "message.generated")
+    delivered = [e for e in events if e["topic"] == "message.delivered"]
+    lines.append("deliveries")
+    lines.append(f"  generated: {generated}  delivered: {len(delivered)}")
+    if delivered:
+        delays = [float(e["delay_s"]) for e in delivered]  # type: ignore[arg-type]
+        hops = [int(e["hops"]) for e in delivered]  # type: ignore[arg-type]
+        lines.append(f"  mean delay: {_fmt(sum(delays) / len(delays))} s  "
+                     f"mean hops: {_fmt(sum(hops) / len(hops))}")
+        if generated:
+            lines.append(
+                f"  delivery ratio: {_fmt(len(delivered) / generated)}")
+    lines.append("")
+    return "\n".join(lines)

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Protocol, Set
 
 from repro.des.scheduler import EventScheduler
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import FrameCollision, FrameRx, FrameTx
 from repro.radio.frames import Frame, FrameKind
 from repro.radio.timing import ChannelTiming
 
@@ -81,6 +83,11 @@ class WirelessMedium:
         self._radios: Dict[int, "Transceiver"] = {}
         self._active: List[_Transmission] = []
         self.stats = MediumStats()
+        self._bus: Optional[TelemetryBus] = None
+
+    def bind_telemetry(self, bus: TelemetryBus) -> None:
+        """Emit frame tx/rx/collision events on ``bus`` from now on."""
+        self._bus = bus
 
     # ------------------------------------------------------------------
     # registration
@@ -157,18 +164,38 @@ class WirelessMedium:
         self._active.append(tx)
         self.stats.transmissions += 1
         self.stats.bits_sent += size
+        bus = self._bus
+        if bus is not None:
+            bus.emit(FrameTx(
+                time=now, node=radio.node_id,
+                frame_kind=frame.kind.value, src=frame.src, dst=frame.dst,
+                message_id=getattr(frame, "message_id", None), bits=size))
         self._scheduler.schedule(duration, self._end_transmission, tx)
         return duration
 
     def _end_transmission(self, tx: _Transmission) -> None:
         self._active.remove(tx)
+        bus = self._bus
+        frame = tx.frame
         for node_id in tx.audience:
             radio = self._radios[node_id]
             if node_id in tx.corrupted:
                 self.stats.frames_corrupted += 1
-                radio.notify_collision(tx.frame)
+                if bus is not None:
+                    bus.emit(FrameCollision(
+                        time=self._scheduler.now, node=node_id,
+                        frame_kind=frame.kind.value, src=frame.src,
+                        dst=frame.dst,
+                        message_id=getattr(frame, "message_id", None)))
+                radio.notify_collision(frame)
             elif radio.state.can_receive:
                 self.stats.frames_delivered += 1
-                radio.deliver(tx.frame)
+                if bus is not None:
+                    bus.emit(FrameRx(
+                        time=self._scheduler.now, node=node_id,
+                        frame_kind=frame.kind.value, src=frame.src,
+                        dst=frame.dst,
+                        message_id=getattr(frame, "message_id", None)))
+                radio.deliver(frame)
             # else: the receiver went to sleep / started transmitting
             # mid-frame and simply misses it.

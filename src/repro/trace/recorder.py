@@ -1,12 +1,28 @@
-"""Trace recording: frame-level event capture with bounded memory."""
+"""Trace recording: frame-level event capture with bounded memory.
+
+:class:`TraceRecorder` is a telemetry-bus subscriber: it listens on the
+``frame.tx`` / ``frame.rx`` / ``frame.collision`` topics and keeps a
+bounded in-memory ring of :class:`TraceEvent` records with the query
+helpers the protocol-inspection tooling builds on.  The legacy
+``TraceRecorder(sim)`` + ``install()`` path still works (it enables the
+simulation's telemetry and subscribes) but is deprecated.
+"""
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterable, List, Optional, TYPE_CHECKING
+from typing import Deque, Iterable, List, Optional, TYPE_CHECKING
 
-from repro.radio.frames import DataFrame, Frame, FrameKind
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import (
+    FrameCollision,
+    FrameRx,
+    FrameTx,
+    TelemetryEvent,
+)
+from repro.radio.frames import FrameKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.simulation import Simulation
@@ -35,84 +51,79 @@ class TraceEvent:
                 f"{self.frame_kind:<9} {self.src}->{dst}{mid}")
 
 
-def _message_id_of(frame: Frame) -> Optional[int]:
-    if isinstance(frame, DataFrame):
-        return frame.message_id
-    return getattr(frame, "message_id", None)
+#: Bus topic -> legacy single-word event kind.
+_KIND_BY_TOPIC = {
+    FrameTx.topic: "tx",
+    FrameRx.topic: "rx",
+    FrameCollision.topic: "col",
+}
 
 
 class TraceRecorder:
-    """Hooks every radio of a simulation and records frame events.
+    """Records the frame events published on a telemetry bus.
 
     ``max_events`` bounds memory: older events are discarded first (the
     recorder is a flight recorder, not an archive).  Filters: pass
     ``frame_kinds`` to record only some frame types (e.g. only DATA).
+
+    Preferred construction subscribes immediately::
+
+        recorder = TraceRecorder(bus=sim.enable_telemetry())
+
+    The legacy ``TraceRecorder(sim)`` followed by :meth:`install` is a
+    deprecated shim over the same path.
     """
 
     def __init__(
         self,
-        sim: "Simulation",
+        sim: Optional["Simulation"] = None,
         max_events: int = 100_000,
         frame_kinds: Optional[Iterable[FrameKind]] = None,
+        *,
+        bus: Optional[TelemetryBus] = None,
     ) -> None:
         if max_events < 1:
             raise ValueError("need room for at least one event")
+        if sim is not None and bus is not None:
+            raise ValueError("pass either sim (deprecated) or bus, not both")
+        if sim is None and bus is None:
+            raise ValueError("a TraceRecorder needs a bus (or, "
+                             "deprecated, a simulation)")
+        if sim is not None:
+            warnings.warn(
+                "TraceRecorder(sim) is deprecated; construct with "
+                "TraceRecorder(bus=sim.enable_telemetry()) instead",
+                DeprecationWarning, stacklevel=2)
         self.sim = sim
         self.events: Deque[TraceEvent] = deque(maxlen=max_events)
-        self._kinds = frozenset(frame_kinds) if frame_kinds else None
+        self._kinds = (frozenset(k.value for k in frame_kinds)
+                       if frame_kinds else None)
         self._installed = False
+        if bus is not None:
+            self._subscribe(bus)
 
     def install(self) -> None:
-        """Wrap the radios' callbacks (call before ``sim.run()``)."""
+        """Deprecated-path hookup: enable the sim's telemetry, subscribe."""
         if self._installed:
             return
+        if self.sim is None:
+            raise ValueError("install() needs the deprecated sim argument; "
+                             "bus-constructed recorders are already live")
+        self._subscribe(self.sim.enable_telemetry())
+
+    def _subscribe(self, bus: TelemetryBus) -> None:
         self._installed = True
-        nodes = list(self.sim.sensors) + list(self.sim.sinks)
-        for node in nodes:
-            self._wrap_radio(node.radio)
+        bus.subscribe(FrameTx.topic, self._on_frame_event)
+        bus.subscribe(FrameRx.topic, self._on_frame_event)
+        bus.subscribe(FrameCollision.topic, self._on_frame_event)
 
-    def _accepts(self, frame: Frame) -> bool:
-        return self._kinds is None or frame.kind in self._kinds
-
-    def _wrap_radio(self, radio) -> None:
-        recorder = self
-        sched = self.sim.scheduler
-
-        original_transmit = radio.transmit
-
-        def traced_transmit(frame, on_done=None):
-            """Wrapped transmit that records a tx event."""
-            if recorder._accepts(frame):
-                recorder.events.append(TraceEvent(
-                    sched.now, "tx", radio.node_id, frame.kind.value,
-                    frame.src, frame.dst, _message_id_of(frame)))
-            return original_transmit(frame, on_done)
-
-        radio.transmit = traced_transmit
-
-        original_deliver = radio.deliver
-
-        def traced_deliver(frame):
-            """Wrapped deliver that records an rx event."""
-            if recorder._accepts(frame):
-                recorder.events.append(TraceEvent(
-                    sched.now, "rx", radio.node_id, frame.kind.value,
-                    frame.src, frame.dst, _message_id_of(frame)))
-            original_deliver(frame)
-
-        radio.deliver = traced_deliver
-
-        original_collision = radio.notify_collision
-
-        def traced_collision(frame):
-            """Wrapped collision callback that records a col event."""
-            if recorder._accepts(frame):
-                recorder.events.append(TraceEvent(
-                    sched.now, "col", radio.node_id, frame.kind.value,
-                    frame.src, frame.dst, _message_id_of(frame)))
-            original_collision(frame)
-
-        radio.notify_collision = traced_collision
+    def _on_frame_event(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, (FrameTx, FrameRx, FrameCollision))
+        if self._kinds is not None and event.frame_kind not in self._kinds:
+            return
+        self.events.append(TraceEvent(
+            event.time, _KIND_BY_TOPIC[event.topic], event.node,
+            event.frame_kind, event.src, event.dst, event.message_id))
 
     # ------------------------------------------------------------------
     # queries

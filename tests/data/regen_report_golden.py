@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate tests/data/report_smoke.txt (the `dftmsn report` golden).
+
+Run after an *intentional* change to the report format::
+
+    PYTHONPATH=src python tests/data/regen_report_golden.py
+
+The simulation config must stay in sync with ``SMOKE`` in
+``tests/test_obs_integration.py``.
+"""
+
+import pathlib
+import tempfile
+
+from repro.network.config import SimulationConfig
+from repro.network.simulation import run_simulation
+from repro.obs.export import read_trace
+from repro.obs.report import render_report
+
+SMOKE = dict(protocol="opt", n_sensors=10, n_sinks=2,
+             duration_s=500.0, seed=5)
+
+
+def main() -> None:
+    out = pathlib.Path(__file__).resolve().parent / "report_smoke.txt"
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "golden_run.jsonl"
+        run_simulation(SimulationConfig(trace_path=str(path), **SMOKE))
+        out.write_text(render_report(read_trace(path)) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+"""Integration tests: telemetry in real simulations, CLI, shims, golden.
+
+The central acceptance property lives here: enabling telemetry (bus,
+metrics, spans, trace export) must not change a seeded run's results
+in any way — ``SimulationResult.to_dict()`` stays byte-identical.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.contact.detector import ContactTracer
+from repro.des import EventScheduler
+from repro.harness.cli import main as cli_main
+from repro.metrics.timeseries import TimeSeriesProbe
+from repro.mobility import Area, MobilityManager, StationaryMobility
+from repro.network.config import SimulationConfig
+from repro.network.simulation import Simulation, run_simulation
+from repro.obs.export import read_trace
+from repro.obs.report import render_report
+from repro.trace import TraceRecorder
+
+DATA = pathlib.Path(__file__).resolve().parent / "data"
+
+SMOKE = dict(protocol="opt", n_sensors=10, n_sinks=2,
+             duration_s=500.0, seed=5)
+
+
+# ----------------------------------------------------------------------
+# the equivalence guarantee
+# ----------------------------------------------------------------------
+class TestTelemetryEquivalence:
+    def test_enabling_telemetry_does_not_change_results(self):
+        plain = run_simulation(SimulationConfig(**SMOKE))
+        instrumented = run_simulation(
+            SimulationConfig(telemetry=True, **SMOKE))
+        assert plain.to_dict() == instrumented.to_dict()
+        assert plain.telemetry is None
+        assert instrumented.telemetry is not None
+
+    def test_trace_export_does_not_change_results(self, tmp_path):
+        plain = run_simulation(SimulationConfig(**SMOKE))
+        traced = run_simulation(SimulationConfig(
+            trace_path=str(tmp_path / "run.jsonl"), **SMOKE))
+        assert plain.to_dict() == traced.to_dict()
+
+    def test_telemetry_summary_shape(self):
+        result = run_simulation(SimulationConfig(telemetry=True, **SMOKE))
+        summary = result.telemetry
+        assert set(summary) == {"metrics", "spans"}
+        counters = summary["metrics"]["counters"]
+        assert counters["messages_generated"] == result.messages_generated
+        assert counters["messages_delivered"] == result.messages_delivered
+        assert "async" in summary["spans"]
+        json.dumps(summary)  # JSON-plain
+
+    def test_seeded_trace_is_reproducible(self, tmp_path):
+        # Message ids come from a process-global counter, so byte-identity
+        # is a *fresh-process* guarantee (re-running the CLI rewrites the
+        # same file): run each replica in its own interpreter.
+        import subprocess
+        import sys
+
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            code = (
+                "from repro.network.config import SimulationConfig\n"
+                "from repro.network.simulation import run_simulation\n"
+                f"run_simulation(SimulationConfig(trace_path={str(path)!r}, "
+                f"**{SMOKE!r}))\n"
+            )
+            subprocess.run([sys.executable, "-c", code], check=True)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+# ----------------------------------------------------------------------
+# trace files from a run
+# ----------------------------------------------------------------------
+class TestRunTraces:
+    def test_jsonl_trace_has_expected_topics(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_simulation(SimulationConfig(trace_path=str(path), **SMOKE))
+        events = read_trace(path)
+        topics = {e["topic"] for e in events}
+        assert {"frame.tx", "phase.enter", "phase.exit",
+                "radio.sleep", "radio.wake",
+                "message.generated"} <= topics
+        times = [e["time"] for e in events]
+        assert times == sorted(times)  # simulated-time ordered
+
+    def test_csv_trace_path(self, tmp_path):
+        path = tmp_path / "run.csv"
+        result = run_simulation(SimulationConfig(trace_path=str(path),
+                                                 **SMOKE))
+        events = read_trace(path)
+        tx = [e for e in events if e["topic"] == "frame.tx"]
+        assert len(tx) == result.transmissions
+
+
+# ----------------------------------------------------------------------
+# legacy hook shims
+# ----------------------------------------------------------------------
+class TestDeprecationShims:
+    def test_trace_recorder_sim_path_warns_but_works(self):
+        sim = Simulation(SimulationConfig(**SMOKE))
+        with pytest.deprecated_call():
+            recorder = TraceRecorder(sim)
+        recorder.install()
+        sim.run()
+        assert len(recorder) > 0
+
+    def test_timeseries_probe_legacy_construction_warns(self):
+        sim = Simulation(SimulationConfig(**SMOKE))
+        with pytest.deprecated_call():
+            TimeSeriesProbe(sim, period_s=100.0)
+
+    def test_timeseries_attach_is_warning_free(self, recwarn):
+        sim = Simulation(SimulationConfig(**SMOKE))
+        probe = TimeSeriesProbe.attach(sim, period_s=100.0)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+        sim.run()
+        assert len(probe.samples) > 0
+        assert probe.samples[-1].generated == sim.collector.messages_generated
+
+    def test_contact_tracer_callback_kwargs_warn(self):
+        area = Area(50, 50)
+        model = StationaryMobility([0, 1], area,
+                                   positions=[(1.0, 1.0), (2.0, 2.0)])
+        mgr = MobilityManager(EventScheduler(), area, [model],
+                              comm_range=10.0)
+        with pytest.deprecated_call():
+            ContactTracer(mgr, on_contact_start=lambda a, b, t: None)
+        with pytest.deprecated_call():
+            ContactTracer(mgr, on_contact_end=lambda a, b, t0, t1: None)
+
+
+# ----------------------------------------------------------------------
+# CLI round trip
+# ----------------------------------------------------------------------
+class TestCliRoundTrip:
+    def test_single_trace_then_report(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert cli_main(["single", "--protocol", "opt", "--sensors", "10",
+                         "--sinks", "2", "--duration", "300", "--seed", "5",
+                         "--trace", str(trace)]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert cli_main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "frames by kind" in out
+        assert "protocol phase spans" in out
+
+    def test_report_on_directory_merges(self, tmp_path, capsys):
+        for seed in (1, 2):
+            run_simulation(SimulationConfig(
+                protocol="opt", n_sensors=8, n_sinks=1, duration_s=200.0,
+                seed=seed, trace_path=str(tmp_path / f"s{seed}.jsonl")))
+        capsys.readouterr()
+        assert cli_main(["report", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "merged 2 trace files" in captured.err
+        assert "trace events:" in captured.out
+
+    def test_report_missing_path_fails(self, tmp_path, capsys):
+        assert cli_main(["report", str(tmp_path / "nope.jsonl")]) == 1
+
+
+# ----------------------------------------------------------------------
+# golden report
+# ----------------------------------------------------------------------
+class TestGoldenReport:
+    def test_report_matches_golden(self, tmp_path):
+        """Seeded smoke run -> report must render byte-identically.
+
+        Regenerate after intentional format changes with::
+
+            PYTHONPATH=src python tests/data/regen_report_golden.py
+        """
+        path = tmp_path / "golden_run.jsonl"
+        run_simulation(SimulationConfig(trace_path=str(path), **SMOKE))
+        rendered = render_report(read_trace(path)) + "\n"
+        golden = (DATA / "report_smoke.txt").read_text()
+        assert rendered == golden
