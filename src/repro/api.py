@@ -7,11 +7,14 @@ from one module.  The deep module paths (``repro.network.simulation``,
 may move between releases; the names below will not.  All bundled
 ``examples/*.py`` import exclusively from here.
 
-The surface covers five layers:
+The surface covers six layers:
 
 * **Configure & run** — :class:`SimulationConfig`,
   :class:`ProtocolParameters`, :func:`run_simulation`,
   :class:`Simulation`, :class:`SimulationResult`.
+* **Fault injection** — :class:`FaultSpec` and the fault model family,
+  plus :func:`run_fault_campaign` degradation sweeps (see
+  ``docs/FAULTS.md``).
 * **Batch execution** — :func:`run_replicated`, :func:`sweep`,
   :class:`SerialRunner`, :class:`ProcessPoolRunner`,
   :class:`TracingRunner`, :class:`Checkpoint`.
@@ -34,6 +37,24 @@ from repro.network.simulation import (
     Simulation,
     SimulationResult,
     run_simulation,
+)
+
+# -- fault injection & campaigns -------------------------------------------
+from repro.harness.faults import (
+    DegradationCurve,
+    FaultCampaignResult,
+    format_fault_campaign,
+    run_fault_campaign,
+)
+from repro.network.faults import (
+    FaultInjector,
+    FaultModel,
+    FaultPlan,
+    FaultSpec,
+    PermanentDeaths,
+    RadioImpairment,
+    SinkOutage,
+    TransientOutages,
 )
 
 # -- batch execution -------------------------------------------------------
@@ -110,6 +131,19 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "run_simulation",
+    # fault injection & campaigns
+    "FaultSpec",
+    "FaultModel",
+    "PermanentDeaths",
+    "TransientOutages",
+    "RadioImpairment",
+    "SinkOutage",
+    "FaultPlan",
+    "FaultInjector",
+    "run_fault_campaign",
+    "format_fault_campaign",
+    "FaultCampaignResult",
+    "DegradationCurve",
     # batch execution
     "run_replicated",
     "sweep",

@@ -15,8 +15,9 @@ the structural properties every protocol variant must preserve:
   pending event is scheduled in the past;
 * **INV-CONSERVE** — message-copy conservation: a queue's occupancy
   equals copies kept (inserted + reinserted) minus copies that left
-  (popped + delivered + overflow-dropped), and network-wide every
-  delivered message was generated, no later than it was delivered.
+  (popped + delivered + overflow-dropped + reboot-purged), and
+  network-wide every delivered message was generated, no later than it
+  was delivered.
 
 Violations raise a structured :exc:`InvariantViolation` naming the
 invariant, the node, the simulation time and the paper equation.
@@ -130,14 +131,15 @@ def check_queue_invariants(
             f"{queue.capacity}", node=node, time=now, equation="Sec. 3.1.2")
     stats = queue.stats
     expected = (stats.inserted + stats.reinserted - stats.popped
-                - stats.removed_delivered - stats.drops_overflow)
+                - stats.removed_delivered - stats.drops_overflow
+                - stats.purged)
     if len(copies) != expected:
         raise InvariantViolation(
             "INV-CONSERVE",
             f"occupancy {len(copies)} != inserted {stats.inserted} "
             f"+ reinserted {stats.reinserted} - popped {stats.popped} "
             f"- delivered {stats.removed_delivered} "
-            f"- overflow {stats.drops_overflow}",
+            f"- overflow {stats.drops_overflow} - purged {stats.purged}",
             node=node, time=now, equation="Sec. 3.1.2")
 
 

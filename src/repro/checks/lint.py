@@ -38,6 +38,12 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Type
 #: DET002/DET003 rules apply only inside these.
 SIM_PACKAGES = frozenset({"core", "des", "network", "contact", "obs"})
 
+#: Individual ``(package, module)`` pairs outside :data:`SIM_PACKAGES`
+#: that still carry the bit-for-bit reproducibility guarantee and so get
+#: the sim-only rules.  ``harness/faults.py`` assembles seeded fault
+#: campaigns whose results must match across serial/parallel backends.
+SIM_MODULES = frozenset({("harness", "faults")})
+
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 
@@ -364,9 +370,16 @@ RULES: Tuple[Type[Rule], ...] = (Det001, Det002, Det003, Flt001, Mut001)
 # engine
 # ----------------------------------------------------------------------
 def is_sim_module(path: str) -> bool:
-    """Whether ``path`` lies inside one of the :data:`SIM_PACKAGES`."""
-    parts = pathlib.PurePath(path).parts
-    return any(part in SIM_PACKAGES for part in parts[:-1])
+    """Whether ``path`` is deterministic-simulation code.
+
+    True inside any :data:`SIM_PACKAGES` directory, or for one of the
+    individually enrolled :data:`SIM_MODULES`.
+    """
+    pure = pathlib.PurePath(path)
+    parts = pure.parts
+    if any(part in SIM_PACKAGES for part in parts[:-1]):
+        return True
+    return len(parts) >= 2 and (parts[-2], pure.stem) in SIM_MODULES
 
 
 def _suppressed(source_lines: Sequence[str], line: int, rule_id: str) -> bool:

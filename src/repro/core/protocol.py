@@ -107,6 +107,7 @@ class MacAgent:
 
         self.state = AgentState.IDLE
         self.failed = False
+        self.failed_permanently = False
         self.stats = AgentStats()
         self.neighbor_table = NeighborTable(params.neighbor_ttl_s)
         self.listen_policy = ListenPolicy(params)
@@ -241,16 +242,20 @@ class MacAgent:
         """Flush accounting at the end of a run."""
         self.radio.finalize()
 
-    def fail(self) -> None:
-        """Permanently kill this node (fault injection).
+    def fail(self, permanent: bool = True) -> None:
+        """Kill this node (fault injection).
 
         The radio goes dark (no LPL sampling either), pending protocol
         events are cancelled, and buffered message copies are lost —
         the failure mode the FTD redundancy is designed to tolerate.
+        With ``permanent=False`` the outage is recoverable: a later
+        :meth:`recover` reboots the node (transient fault models).
         """
         if self.failed:
+            self.failed_permanently = self.failed_permanently or permanent
             return
         self.failed = True
+        self.failed_permanently = permanent
         self._phase_end("interrupted")
         self._cancel_pending()
         if self._sleep_wake_event is not None:
@@ -269,12 +274,39 @@ class MacAgent:
             self.radio.sleep()
 
     def _fail_radio_off(self) -> None:
+        if not self.failed:
+            return  # recovered before the deferred radio-off fired
         if self.radio.state is not RadioState.TRANSMITTING:
             if self.radio.state.awake:
                 self.radio.sleep()
         else:  # pragma: no cover - extremely long back-to-back frames
             self.scheduler.schedule(self.timing.data_airtime_s,
                                     self._fail_radio_off)
+
+    def recover(self, purge_buffer: bool = False) -> bool:
+        """Reboot a transiently failed node (inverse of non-permanent
+        :meth:`fail`); returns whether a reboot actually happened.
+
+        Permanently dead nodes never come back.  With ``purge_buffer``
+        the reboot models volatile message memory: every buffered copy
+        is dropped (``queue.drop`` cause ``"purge"``).  The agent
+        restarts exactly like a booting node: LPL sampling restored,
+        radio awake, working cycle re-entered after the usual random
+        phase offset (one RNG draw from this node's MAC stream).
+        """
+        if not self.failed or self.failed_permanently:
+            return False
+        self.failed = False
+        if purge_buffer:
+            self.queue.purge()
+        if (self.params.lpl_enabled and self.params.sleep_enabled
+                and not self.is_sink):
+            self.radio.lpl_sample_interval_s = self.params.lpl_sample_interval_s
+        self.radio.wake()
+        self.state = AgentState.IDLE
+        self.sleep_scheduler.reset_idle()
+        self.start()
+        return True
 
     # ==================================================================
     # working cycle

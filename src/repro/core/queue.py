@@ -28,8 +28,8 @@ class QueueStats:
     Together they form a conservation ledger the invariant checker
     (:mod:`repro.checks.invariants`) audits: the live occupancy always
     equals ``inserted + reinserted - popped - removed_delivered -
-    drops_overflow`` (threshold drops and duplicate merges never change
-    occupancy).
+    drops_overflow - purged`` (threshold drops and duplicate merges
+    never change occupancy).
     """
 
     inserted: int = 0
@@ -39,6 +39,7 @@ class QueueStats:
     drops_threshold: int = 0
     duplicates_merged: int = 0
     removed_delivered: int = 0
+    purged: int = 0
 
 
 class FtdQueue:
@@ -172,6 +173,21 @@ class FtdQueue:
             self._emit_drop(dropped, "overflow")
             return self._find(updated.message_id) is not None
         return True
+
+    def purge(self) -> int:
+        """Drop every buffered copy (volatile memory lost on a reboot).
+
+        Returns the number of copies purged.  Each purge is tallied in
+        ``stats.purged`` (its own ledger column) and emitted as a
+        ``queue.drop`` event with cause ``"purge"``.
+        """
+        purged = len(self._copies)
+        for copy in self._copies:
+            self._emit_drop(copy, "purge")
+        self.stats.purged += purged
+        self._copies.clear()
+        self._keys.clear()
+        return purged
 
     def sort_keys(self) -> List[Tuple[float, int]]:
         """Snapshot of the ascending ``(ftd, seq)`` sort-key index.

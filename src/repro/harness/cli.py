@@ -26,6 +26,7 @@ from repro.harness.registry import EXPERIMENTS
 from repro.harness.runner import runner_for_workers
 from repro.harness.serialize import Checkpoint
 from repro.network.config import PROTOCOLS, SimulationConfig
+from repro.network.faults import FAULT_KINDS
 from repro.network.simulation import run_simulation
 
 
@@ -117,6 +118,47 @@ def _build_parser() -> argparse.ArgumentParser:
     xval_p.add_argument("--seed", type=int, default=1)
     xval_p.add_argument("--workers", type=_worker_count, default=0,
                         help="parallel worker processes (0 = serial)")
+
+    faults_p = sub.add_parser(
+        "faults", help="fault campaign: protocol degradation curves "
+                       "across increasing failure intensities "
+                       "(see docs/FAULTS.md)")
+    faults_p.add_argument("--kind", choices=sorted(FAULT_KINDS),
+                          default="deaths",
+                          help="fault model to sweep (default: deaths)")
+    faults_p.add_argument("--intensities", default="0.0,0.2,0.4",
+                          help="comma-separated fault intensities in "
+                               "[0, 1] (default: 0.0,0.2,0.4)")
+    faults_p.add_argument("--protocols", default="opt,epidemic,direct",
+                          help="comma-separated protocols to compare "
+                               "(default: opt,epidemic,direct)")
+    faults_p.add_argument("--duration", type=float, default=5_000.0)
+    faults_p.add_argument("--replicates", type=int, default=3)
+    faults_p.add_argument("--sensors", type=int, default=100)
+    faults_p.add_argument("--sinks", type=int, default=3)
+    faults_p.add_argument("--seed", type=int, default=1)
+    faults_p.add_argument("--mean-downtime", type=float, default=600.0,
+                          help="mean outage downtime in seconds "
+                               "(kind=outages; default 600)")
+    faults_p.add_argument("--no-purge", action="store_true",
+                          help="rebooting nodes keep their buffered "
+                               "messages (kind=outages)")
+    faults_p.add_argument("--range-factor", type=float, default=1.0,
+                          help="comm-range multiplier while impaired "
+                               "(kind=radio; default 1.0)")
+    faults_p.add_argument("--quiet", action="store_true",
+                          help="suppress progress lines")
+    faults_p.add_argument("--save", metavar="PATH", default=None,
+                          help="also write the campaign result as JSON "
+                               "to PATH")
+    faults_p.add_argument("--workers", type=_worker_count, default=0,
+                          help="parallel worker processes (0 = serial)")
+    faults_p.add_argument("--checkpoint", metavar="PATH", default=None,
+                          help="persist completed runs to PATH (JSONL) "
+                               "and resume from it on restart")
+    faults_p.add_argument("--check-invariants", action="store_true",
+                          help="assert the protocol invariants during "
+                               "every run (workers inherit the flag)")
 
     lint_p = sub.add_parser(
         "lint", help="run the determinism / float-safety lint "
@@ -218,6 +260,57 @@ def _cmd_single(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.harness.faults import format_fault_campaign, run_fault_campaign
+    from repro.network.faults import FaultSpec
+
+    if args.check_invariants:
+        import os
+
+        from repro.checks.invariants import ENV_FLAG
+
+        os.environ[ENV_FLAG] = "1"
+    try:
+        intensities = [float(v) for v in args.intensities.split(",") if v.strip()]
+    except ValueError:
+        print(f"invalid --intensities: {args.intensities!r}", file=sys.stderr)
+        return 2
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    unknown = [p for p in protocols if p not in PROTOCOLS]
+    if unknown:
+        print(f"unknown protocols: {', '.join(unknown)} "
+              f"(choose from {', '.join(sorted(PROTOCOLS))})", file=sys.stderr)
+        return 2
+    spec = FaultSpec(kind=args.kind, mean_downtime_s=args.mean_downtime,
+                     purge_buffer=not args.no_purge,
+                     range_factor=args.range_factor)
+    base = SimulationConfig(n_sinks=args.sinks, n_sensors=args.sensors,
+                            duration_s=args.duration, seed=args.seed)
+    checkpoint = None
+    if args.checkpoint:
+        import pathlib
+
+        checkpoint = Checkpoint(pathlib.Path(args.checkpoint))
+        if len(checkpoint) and not args.quiet:
+            print(f"(resuming: {len(checkpoint)} completed runs in "
+                  f"{args.checkpoint})", file=sys.stderr)
+    progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr)
+    result = run_fault_campaign(
+        base, spec, intensities, protocols=protocols,
+        replicates=args.replicates, base_seed=args.seed,
+        progress=progress, runner=runner_for_workers(args.workers),
+        checkpoint=checkpoint)
+    print(format_fault_campaign(result))
+    if args.save:
+        import pathlib
+
+        path = pathlib.Path(args.save)
+        path.write_text(json.dumps(result.to_dict(), indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"(results saved to {path})", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -288,6 +381,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_single(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "contact":
         return _cmd_contact(args)
     if args.command == "crossval":

@@ -1,0 +1,199 @@
+"""Fault campaigns: graceful-degradation curves under increasing failure.
+
+A campaign takes one fault kind (a :class:`~repro.network.faults.FaultSpec`
+template) and runs a protocol comparison across increasing fault
+intensities — the experiment behind the paper's fault-tolerance claim:
+DFT-MSN's FTD redundancy should degrade *gracefully* where direct
+transmission collapses.
+
+All ``protocols x intensities x replicates`` runs are dispatched as one
+batch through a :class:`~repro.harness.runner.Runner`, so a parallel
+backend overlaps the whole campaign and a
+:class:`~repro.harness.serialize.Checkpoint` resumes it after an
+interruption.  Every point reuses the same derived replicate seeds
+(common random numbers), making the curves paired comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.harness.experiment import (
+    AggregateResult, _aggregate, replicate_configs,
+)
+from repro.harness.runner import Job, Runner, SerialRunner
+from repro.harness.serialize import Checkpoint
+from repro.network.config import SimulationConfig
+from repro.network.faults import FaultSpec
+
+
+@dataclass
+class DegradationPoint:
+    """One (intensity, aggregated metrics) sample of a curve."""
+
+    intensity: float
+    aggregate: AggregateResult
+
+    def ci(self, attr: str) -> tuple:
+        """(mean, 95% half-width) of one result attribute."""
+        return self.aggregate.ci(attr)
+
+
+@dataclass
+class DegradationCurve:
+    """One protocol's metrics across ascending fault intensities."""
+
+    protocol: str
+    points: List[DegradationPoint]
+
+    def retention(self) -> float:
+        """Delivery ratio retained at the worst intensity.
+
+        ``delivery(max intensity) / delivery(min intensity)`` — the
+        graceful-degradation headline (1.0 = unaffected, 0.0 =
+        collapse; NaN when the baseline point delivered nothing).
+        """
+        if not self.points:
+            return float("nan")
+        first = self.points[0].aggregate.delivery_ratio
+        last = self.points[-1].aggregate.delivery_ratio
+        if not first > 0:
+            return float("nan")
+        return last / first
+
+
+@dataclass
+class FaultCampaignResult:
+    """Outcome of :func:`run_fault_campaign`."""
+
+    spec: FaultSpec
+    intensities: List[float]
+    curves: Dict[str, DegradationCurve]
+    replicates: int
+    base_seed: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data view (for JSON export)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "intensities": list(self.intensities),
+            "replicates": self.replicates,
+            "base_seed": self.base_seed,
+            "curves": {
+                protocol: [
+                    {"intensity": point.intensity,
+                     "aggregate": point.aggregate.to_dict()}
+                    for point in curve.points
+                ]
+                for protocol, curve in self.curves.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultCampaignResult":
+        """Rebuild a campaign result from :meth:`to_dict` output."""
+        curves: Dict[str, DegradationCurve] = {}
+        for protocol, points in data["curves"].items():
+            curves[protocol] = DegradationCurve(protocol=protocol, points=[
+                DegradationPoint(
+                    intensity=float(p["intensity"]),
+                    aggregate=AggregateResult.from_dict(p["aggregate"]))
+                for p in points
+            ])
+        return cls(
+            spec=FaultSpec.from_dict(data["spec"]),
+            intensities=[float(v) for v in data["intensities"]],
+            curves=curves,
+            replicates=int(data["replicates"]),
+            base_seed=int(data["base_seed"]),
+        )
+
+
+def run_fault_campaign(
+    base: SimulationConfig,
+    spec: FaultSpec,
+    intensities: Sequence[float],
+    protocols: Sequence[str] = ("opt", "epidemic", "direct"),
+    replicates: int = 3,
+    base_seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    runner: Optional[Runner] = None,
+    checkpoint: Optional[Checkpoint] = None,
+) -> FaultCampaignResult:
+    """Sweep ``protocols`` across fault ``intensities`` and aggregate.
+
+    ``spec`` is the fault template; each sweep point runs ``base`` with
+    ``faults=(spec.scaled(intensity),)`` (any faults already present on
+    ``base`` are replaced — a campaign measures exactly one model).
+    All runs go out as a single batch, so any runner backend — serial,
+    process pool, tracing — serves the whole campaign, and results are
+    assembled in deterministic (protocol, intensity, replicate) order
+    regardless of completion order.
+    """
+    if not intensities:
+        raise ValueError("need at least one fault intensity")
+    if not protocols:
+        raise ValueError("need at least one protocol")
+    if len(set(protocols)) != len(protocols):
+        raise ValueError("duplicate protocols in campaign")
+    ordered = sorted(float(v) for v in intensities)
+    if runner is None:
+        runner = SerialRunner()
+
+    points: List[tuple] = []  # (protocol, intensity, per-replicate configs)
+    jobs: List[Job] = []
+    for protocol in protocols:
+        for intensity in ordered:
+            cfg = replace(base, protocol=protocol,
+                          faults=(spec.scaled(intensity),))
+            configs = replicate_configs(cfg, replicates, base_seed)
+            points.append((protocol, intensity, cfg))
+            jobs.extend(Job("packet", c) for c in configs)
+
+    if progress is not None:
+        progress(f"fault campaign: {len(protocols)} protocols x "
+                 f"{len(ordered)} intensities x {replicates} replicates "
+                 f"= {len(jobs)} runs")
+    outcomes = runner.run_jobs(jobs, progress=progress,
+                               checkpoint=checkpoint)
+
+    curves: Dict[str, DegradationCurve] = {
+        protocol: DegradationCurve(protocol=protocol, points=[])
+        for protocol in protocols
+    }
+    for i, (protocol, intensity, cfg) in enumerate(points):
+        chunk = outcomes[i * replicates:(i + 1) * replicates]
+        curves[protocol].points.append(DegradationPoint(
+            intensity=intensity, aggregate=_aggregate(cfg, chunk)))
+
+    return FaultCampaignResult(
+        spec=spec, intensities=ordered, curves=curves,
+        replicates=replicates, base_seed=base_seed)
+
+
+def format_fault_campaign(result: FaultCampaignResult) -> str:
+    """Text table of the degradation curves (CLI / EXPERIMENTS.md)."""
+    spec = result.spec
+    lines = [
+        f"fault campaign: kind={spec.kind} "
+        f"replicates={result.replicates} base_seed={result.base_seed}",
+        "",
+        f"{'protocol':<10} {'intensity':>9}  {'delivery':>16}  "
+        f"{'delay_s':>16}  {'power_mW':>16}",
+    ]
+    for protocol, curve in result.curves.items():
+        for point in curve.points:
+            d_mean, d_ci = point.ci("delivery_ratio")
+            t_mean, t_ci = point.ci("average_delay_s")
+            p_mean, p_ci = point.ci("average_power_mw")
+            lines.append(
+                f"{protocol:<10} {point.intensity:>9.2f}  "
+                f"{d_mean:>7.3f} +-{d_ci:<6.3f}  "
+                f"{t_mean:>7.1f} +-{t_ci:<6.1f}  "
+                f"{p_mean:>7.3f} +-{p_ci:<6.3f}")
+        lines.append(
+            f"{'':<10} {'retention':>9}  {curve.retention():>7.3f} "
+            "(delivery kept at worst intensity)")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -10,6 +10,7 @@ neighborhood.  It implements the medium's
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -81,8 +82,14 @@ class MobilityManager:
     def _rebuild_index(self) -> None:
         self._cells.clear()
         inv = 1.0 / self.comm_range
+        # floor, not int(): truncation toward zero would merge the
+        # [-r, 0) and [0, r) bins into one double-width cell on each
+        # axis, breaking the uniform-grid contract (every cell spans
+        # exactly comm_range) and quadrupling the 3x3-scan work around
+        # the origin for models that place nodes on both sides of it.
         for i, nid in enumerate(self.node_ids):
-            key = (int(self.positions[i, 0] * inv), int(self.positions[i, 1] * inv))
+            key = (math.floor(self.positions[i, 0] * inv),
+                   math.floor(self.positions[i, 1] * inv))
             self._cells.setdefault(key, []).append(nid)
 
     # ------------------------------------------------------------------
@@ -105,7 +112,7 @@ class MobilityManager:
         i = self._index_of[node_id]
         x, y = self.positions[i, 0], self.positions[i, 1]
         inv = 1.0 / self.comm_range
-        cx, cy = int(x * inv), int(y * inv)
+        cx, cy = math.floor(x * inv), math.floor(y * inv)
         result: List[int] = []
         for gx in (cx - 1, cx, cx + 1):
             for gy in (cy - 1, cy, cy + 1):

@@ -17,6 +17,7 @@ from repro.baselines.epidemic import EpidemicAgent
 from repro.baselines.zbr import ZbrAgent
 from repro.core.params import ProtocolParameters
 from repro.core.protocol import CrossLayerAgent, MacAgent
+from repro.network.faults import FaultSpec
 
 
 def _protocol_table() -> Dict[str, Tuple[Type[MacAgent], ProtocolParameters]]:
@@ -91,10 +92,24 @@ class SimulationConfig:
     #: Simulated seconds between two periodic invariant sweeps.
     invariant_interval_s: float = 100.0
 
+    # --- fault injection (repro.network.faults) ---------------------------------
+    #: Fault models armed before the run starts.  Each spec builds one
+    #: :class:`~repro.network.faults.FaultModel` drawing from its own
+    #: ``faults:<name>`` substream of the run's seed, so fault campaigns
+    #: stay deterministic across serial and parallel backends.
+    faults: Tuple[FaultSpec, ...] = ()
+
     # --- protocol parameters (None -> preset for ``protocol``) -----------------
     params: Optional[ProtocolParameters] = None
 
     def __post_init__(self) -> None:
+        # Normalize faults to a tuple (JSON round trips yield lists).
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise ValueError(f"faults entries must be FaultSpec, "
+                                 f"got {spec!r}")
         if self.protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; "
@@ -162,6 +177,8 @@ class SimulationConfig:
             value = getattr(self, f.name)
             if f.name == "params":
                 value = None if value is None else value.to_dict()
+            elif f.name == "faults":
+                value = [spec.to_dict() for spec in value]
             out[f.name] = value
         return out
 
@@ -177,6 +194,12 @@ class SimulationConfig:
         params = payload.get("params")
         if params is not None and not isinstance(params, ProtocolParameters):
             payload["params"] = ProtocolParameters.from_dict(params)  # type: ignore[arg-type]
+        faults = payload.get("faults")
+        if faults:
+            payload["faults"] = tuple(
+                spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+                for spec in faults  # type: ignore[union-attr]
+            )
         return cls(**payload)  # type: ignore[arg-type]
 
     @property

@@ -29,6 +29,7 @@ from repro.mobility.walk import RandomWalkMobility
 from repro.mobility.waypoint import RandomWaypointMobility
 from repro.mobility.zone import ZoneGridMobility
 from repro.network.config import SimulationConfig
+from repro.network.faults import FaultModel
 from repro.network.node import SensorNode, SinkNode
 from repro.obs.bus import TelemetryBus
 from repro.obs.export import writer_for_path
@@ -133,6 +134,10 @@ class Simulation:
         self.spans: Optional[SpanTracker] = None
         self._build_sinks()
         self._build_sensors()
+        #: Fault models built from ``config.faults`` (armed by :meth:`run`).
+        self.fault_models: List[FaultModel] = [
+            spec.build() for spec in config.faults
+        ]
         if config.telemetry or config.trace_path is not None:
             self.enable_telemetry()
 
@@ -286,6 +291,8 @@ class Simulation:
                 self.scheduler, self.sensors, self.collector,
                 interval_s=self.config.invariant_interval_s)
             checker.install(until=self.config.duration_s)
+        for model in self.fault_models:
+            model.arm(self)  # after trace-writer setup: the bus is final
         self.mobility.start()
         for sink in self.sinks:
             sink.start()

@@ -17,6 +17,8 @@ from typing import Callable, Dict, FrozenSet, List
 from repro.obs.events import (
     ContactEnd,
     ContactStart,
+    FaultInject,
+    FaultRecover,
     FrameCollision,
     FrameRx,
     FrameTx,
@@ -46,6 +48,8 @@ TOPICS: FrozenSet[str] = frozenset(
         RadioWake,
         ContactStart,
         ContactEnd,
+        FaultInject,
+        FaultRecover,
         QueueDrop,
         PhaseEnter,
         PhaseExit,

@@ -126,8 +126,9 @@ class ContactEnd(TelemetryEvent):
 class QueueDrop(TelemetryEvent):
     """A message copy was dropped from a node's queue.
 
-    ``cause`` is ``"overflow"`` (capacity eviction) or ``"threshold"``
-    (FTD past the drop threshold, Sec. 3.1.2).
+    ``cause`` is ``"overflow"`` (capacity eviction), ``"threshold"``
+    (FTD past the drop threshold, Sec. 3.1.2) or ``"purge"`` (volatile
+    buffer lost across a fault-injected reboot).
     """
 
     topic: ClassVar[str] = "queue.drop"
@@ -164,6 +165,41 @@ class PhaseExit(TelemetryEvent):
     phase: str
     duration_s: float
     outcome: str
+
+
+# ----------------------------------------------------------------------
+# fault layer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultInject(TelemetryEvent):
+    """A fault model struck.
+
+    ``node`` is the affected node id, or ``None`` for a network-wide
+    fault (e.g. channel-level radio impairment).  ``model`` names the
+    fault model (``deaths``, ``outages``, ``radio``, ``sink_outage``)
+    and ``detail`` the concrete effect (``death``, ``outage``,
+    ``impairment_on``, ...).
+    """
+
+    topic: ClassVar[str] = "fault.inject"
+
+    node: Optional[int]
+    model: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class FaultRecover(TelemetryEvent):
+    """A previously injected fault healed (transient models only).
+
+    ``down_s`` is how long the fault was in effect.
+    """
+
+    topic: ClassVar[str] = "fault.recover"
+
+    node: Optional[int]
+    model: str
+    down_s: float
 
 
 # ----------------------------------------------------------------------

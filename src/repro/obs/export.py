@@ -18,6 +18,8 @@ from repro.obs.bus import ALL_TOPICS, TelemetryBus
 from repro.obs.events import (
     ContactEnd,
     ContactStart,
+    FaultInject,
+    FaultRecover,
     FrameCollision,
     FrameRx,
     FrameTx,
@@ -35,7 +37,8 @@ from repro.obs.events import (
 #: Every field any event can carry, in stable order: the CSV header.
 CSV_COLUMNS: List[str] = ["topic", "time"]
 for _cls in (FrameTx, FrameRx, FrameCollision, RadioSleep, RadioWake,
-             ContactStart, ContactEnd, QueueDrop, PhaseEnter, PhaseExit,
+             ContactStart, ContactEnd, FaultInject, FaultRecover,
+             QueueDrop, PhaseEnter, PhaseExit,
              MessageGenerated, MessageDelivered):
     for _name in _cls.__dataclass_fields__:
         if _name not in CSV_COLUMNS:
@@ -127,7 +130,8 @@ def _from_csv_row(row: Dict[str, str]) -> Dict[str, object]:
     for key, raw in row.items():
         if raw == "" and key != "topic":
             continue
-        if key in ("topic", "frame_kind", "cause", "phase", "outcome"):
+        if key in ("topic", "frame_kind", "cause", "phase", "outcome",
+                   "model", "detail"):
             out[key] = raw
         elif key in ("lpl",):
             out[key] = raw == "True"

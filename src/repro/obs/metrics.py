@@ -19,6 +19,8 @@ from repro.obs.bus import TelemetryBus
 from repro.obs.events import (
     ContactEnd,
     ContactStart,
+    FaultInject,
+    FaultRecover,
     FrameCollision,
     FrameRx,
     FrameTx,
@@ -166,6 +168,8 @@ class MetricsRegistry:
         bus.subscribe(RadioWake.topic, self._on_radio_wake)
         bus.subscribe(ContactStart.topic, self._on_contact_start)
         bus.subscribe(ContactEnd.topic, self._on_contact_end)
+        bus.subscribe(FaultInject.topic, self._on_fault_inject)
+        bus.subscribe(FaultRecover.topic, self._on_fault_recover)
         bus.subscribe(MessageGenerated.topic, self._on_generated)
         bus.subscribe(MessageDelivered.topic, self._on_delivered)
 
@@ -211,6 +215,15 @@ class MetricsRegistry:
         assert isinstance(event, ContactEnd)
         self.counter("contacts_ended").inc()
         self.histogram("contact_duration_s").observe(event.duration)
+
+    def _on_fault_inject(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, FaultInject)
+        self.counter(f"faults_injected.{event.model}").inc()
+
+    def _on_fault_recover(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, FaultRecover)
+        self.counter(f"faults_recovered.{event.model}").inc()
+        self.histogram("fault_downtime_s").observe(event.down_s)
 
     def _on_generated(self, event: TelemetryEvent) -> None:
         assert isinstance(event, MessageGenerated)

@@ -74,6 +74,27 @@ def render_report(events: List[Dict[str, object]]) -> str:
     lines.append("")
 
     # ------------------------------------------------------------------
+    # fault injections / recoveries (section only rendered when a fault
+    # model ran, so fault-free traces keep their historical report)
+    # ------------------------------------------------------------------
+    fault_counts: Dict[str, Dict[str, int]] = {}
+    for event in events:
+        topic = event["topic"]
+        if topic in ("fault.inject", "fault.recover"):
+            model = str(event["model"])
+            per_model = fault_counts.setdefault(model, {})
+            per_model[str(topic)] = per_model.get(str(topic), 0) + 1
+    if fault_counts:
+        lines.append("faults by model")
+        lines.extend(_table(
+            ("model", "injected", "recovered"),
+            ((model,
+              str(fault_counts[model].get("fault.inject", 0)),
+              str(fault_counts[model].get("fault.recover", 0)))
+             for model in sorted(fault_counts))))
+        lines.append("")
+
+    # ------------------------------------------------------------------
     # protocol phase spans (phase.exit carries the duration; sleep spans
     # come from radio.wake)
     # ------------------------------------------------------------------

@@ -38,6 +38,30 @@ class NeighborProvider(Protocol):
         ...
 
 
+class RadioFaultHook(Protocol):
+    """Channel-impairment queries, implemented by a fault model.
+
+    Installed via :meth:`WirelessMedium.bind_faults`; see
+    :class:`repro.network.faults.RadioImpairment`.
+    """
+
+    def frame_blocked(self, src: int, dst: int) -> bool:
+        """Whether the ``src -> dst`` link drops the frame starting now.
+
+        Consulted once per (transmission, potential receiver) at
+        transmission start; may consume the fault model's RNG stream.
+        """
+        ...
+
+    def carrier_blocked(self, src: int, dst: int) -> bool:
+        """Whether ``dst`` cannot even sense ``src``'s carrier.
+
+        Must be RNG-free: carrier sense short-circuits, so a random
+        draw here would make RNG consumption depend on call patterns.
+        """
+        ...
+
+
 @dataclass
 class MediumStats:
     """Channel-level counters collected by the medium."""
@@ -84,10 +108,22 @@ class WirelessMedium:
         self._active: List[_Transmission] = []
         self.stats = MediumStats()
         self._bus: Optional[TelemetryBus] = None
+        self._fault_hook: Optional[RadioFaultHook] = None
 
     def bind_telemetry(self, bus: TelemetryBus) -> None:
         """Emit frame tx/rx/collision events on ``bus`` from now on."""
         self._bus = bus
+
+    def bind_faults(self, hook: Optional[RadioFaultHook]) -> None:
+        """Install (or with ``None`` remove) a channel-impairment hook.
+
+        While installed, every potential receiver of a new transmission
+        is first offered to ``hook.frame_blocked``; blocked receivers
+        never join the audience (no decode, no LPL wake, no collision),
+        and ``hook.carrier_blocked`` can hide in-flight carriers from
+        :meth:`channel_busy`.
+        """
+        self._fault_hook = hook
 
     # ------------------------------------------------------------------
     # registration
@@ -111,8 +147,11 @@ class WirelessMedium:
         True when any in-flight transmission originates within range
         (regardless of whether this node can decode it).
         """
+        hook = self._fault_hook
         return any(
-            tx.src != node_id and self._neighbors.in_range(tx.src, node_id)
+            tx.src != node_id
+            and self._neighbors.in_range(tx.src, node_id)
+            and (hook is None or not hook.carrier_blocked(tx.src, node_id))
             for tx in self._active
         )
 
@@ -133,9 +172,15 @@ class WirelessMedium:
         tx = _Transmission(frame, radio.node_id, now + duration)
 
         wakes_sleepers = frame.kind is FrameKind.PREAMBLE
+        fault_hook = self._fault_hook
         for other_id in self._neighbors.neighbors_of(radio.node_id):
             other = self._radios.get(other_id)
             if other is None or other_id == radio.node_id:
+                continue
+            if fault_hook is not None and fault_hook.frame_blocked(
+                    radio.node_id, other_id):
+                # Impaired link: the frame is attenuated below the decode
+                # (and preamble-detect) threshold at this receiver.
                 continue
             if not other.state.can_receive:
                 # Low-power listening: a sleeping radio whose next channel
@@ -179,6 +224,12 @@ class WirelessMedium:
         frame = tx.frame
         for node_id in tx.audience:
             radio = self._radios[node_id]
+            if not radio.state.can_receive:
+                # The receiver went to sleep / started transmitting
+                # mid-frame and simply misses it — corrupted or not.
+                # (The collision branch used to skip this check and
+                # notified sleeping radios, inflating frames_corrupted.)
+                continue
             if node_id in tx.corrupted:
                 self.stats.frames_corrupted += 1
                 if bus is not None:
@@ -188,7 +239,7 @@ class WirelessMedium:
                         dst=frame.dst,
                         message_id=getattr(frame, "message_id", None)))
                 radio.notify_collision(frame)
-            elif radio.state.can_receive:
+            else:
                 self.stats.frames_delivered += 1
                 if bus is not None:
                     bus.emit(FrameRx(
@@ -197,5 +248,3 @@ class WirelessMedium:
                         dst=frame.dst,
                         message_id=getattr(frame, "message_id", None)))
                 radio.deliver(frame)
-            # else: the receiver went to sleep / started transmitting
-            # mid-frame and simply misses it.

@@ -11,11 +11,19 @@ import abc
 import random
 from typing import Callable, Optional
 
+from repro.des.event import Event
 from repro.des.scheduler import EventScheduler
 
 
 class TrafficGenerator(abc.ABC):
-    """Base class: repeatedly fires ``on_generate`` until ``stop_time``."""
+    """Base class: repeatedly fires ``on_generate`` until ``stop_time``.
+
+    Generators are restartable: a stopped generator (e.g. across a
+    fault-injected outage) resumes with a fresh arrival on the next
+    :meth:`start`.  A stale pre-stop arrival still in the scheduler is
+    never double-counted — restarting re-adopts it instead of chaining
+    a second arrival sequence next to it.
+    """
 
     def __init__(
         self,
@@ -28,11 +36,14 @@ class TrafficGenerator(abc.ABC):
         self.stop_time = stop_time
         self.generated = 0
         self._running = False
+        self._next_event: Optional[Event] = None
 
     def start(self) -> None:
         """Schedule the first arrival (idempotent)."""
-        if not self._running:
-            self._running = True
+        if self._running:
+            return
+        self._running = True
+        if self._next_event is None or self._next_event.cancelled:
             self._schedule_next()
 
     def stop(self) -> None:
@@ -44,10 +55,12 @@ class TrafficGenerator(abc.ABC):
         when = self._scheduler.now + delay
         if self.stop_time is not None and when > self.stop_time:
             self._running = False
+            self._next_event = None
             return
-        self._scheduler.schedule(delay, self._fire)
+        self._next_event = self._scheduler.schedule(delay, self._fire)
 
     def _fire(self) -> None:
+        self._next_event = None
         if not self._running:
             return
         self.generated += 1

@@ -67,8 +67,16 @@ class TestDet002:
     def test_path_classification(self):
         assert is_sim_module("src/repro/des/scheduler.py")
         assert is_sim_module("src/repro/network/simulation.py")
+        assert is_sim_module("src/repro/network/faults.py")
         assert not is_sim_module("src/repro/harness/cli.py")
         assert not is_sim_module("src/repro/checks/lint.py")
+
+    def test_individually_enrolled_modules(self):
+        # harness/faults.py carries the campaign determinism guarantee
+        # and is enrolled via SIM_MODULES despite living outside the
+        # simulation packages.
+        assert is_sim_module("src/repro/harness/faults.py")
+        assert not is_sim_module("src/repro/harness/experiment.py")
 
 
 class TestDet003:

@@ -1,0 +1,143 @@
+"""Tests for the fault-campaign sweep harness and its CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.faults import (
+    FaultCampaignResult,
+    format_fault_campaign,
+    run_fault_campaign,
+)
+from repro.harness.runner import ProcessPoolRunner, SerialRunner
+from repro.harness.serialize import Checkpoint
+from repro.network.config import SimulationConfig
+from repro.network.faults import FaultSpec
+
+BASE = SimulationConfig(n_sensors=15, n_sinks=2, duration_s=300.0, seed=9)
+SPEC = FaultSpec(kind="deaths")
+
+
+def small_campaign(runner=None, checkpoint=None, progress=None):
+    return run_fault_campaign(
+        BASE, SPEC, intensities=(0.0, 0.5), protocols=("opt", "direct"),
+        replicates=2, base_seed=9, runner=runner, checkpoint=checkpoint,
+        progress=progress)
+
+
+def _deterministic_view(result):
+    """Campaign dict stripped of wall-clock timings (seeded data only)."""
+    data = result.to_dict()
+    for points in data["curves"].values():
+        for point in points:
+            for rep in point["aggregate"]["replicates"]:
+                rep.pop("wall_clock_s", None)
+    return data
+
+
+class TestCampaign:
+    def test_structure_and_ordering(self):
+        result = small_campaign()
+        assert result.intensities == [0.0, 0.5]
+        assert set(result.curves) == {"opt", "direct"}
+        for curve in result.curves.values():
+            assert [p.intensity for p in curve.points] == [0.0, 0.5]
+            for point in curve.points:
+                assert point.aggregate.n == 2
+                assert not point.aggregate.failures
+            assert curve.retention() == pytest.approx(
+                curve.points[-1].aggregate.delivery_ratio
+                / curve.points[0].aggregate.delivery_ratio)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="at least one fault intensity"):
+            run_fault_campaign(BASE, SPEC, intensities=())
+        with pytest.raises(ValueError, match="at least one protocol"):
+            run_fault_campaign(BASE, SPEC, intensities=(0.1,), protocols=())
+        with pytest.raises(ValueError, match="duplicate protocols"):
+            run_fault_campaign(BASE, SPEC, intensities=(0.1,),
+                               protocols=("opt", "opt"))
+
+    def test_serial_and_parallel_backends_identical(self):
+        serial = small_campaign(runner=SerialRunner())
+        parallel = small_campaign(runner=ProcessPoolRunner(max_workers=2))
+        assert _deterministic_view(serial) == _deterministic_view(parallel)
+
+    def test_checkpoint_resume_serves_cached_runs(self, tmp_path):
+        ckpt_path = tmp_path / "campaign.ckpt"
+        first = small_campaign(checkpoint=Checkpoint(ckpt_path))
+        notes = []
+        again = small_campaign(checkpoint=Checkpoint(ckpt_path),
+                               progress=notes.append)
+        assert first.to_dict() == again.to_dict()
+        assert sum("cached" in note for note in notes) == 8  # 2x2x2 runs
+
+    def test_round_trip(self):
+        result = small_campaign()
+        rebuilt = FaultCampaignResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_format_lists_curves_and_retention(self):
+        text = format_fault_campaign(small_campaign())
+        assert "kind=deaths" in text
+        assert "opt" in text and "direct" in text
+        assert text.count("retention") == 2
+
+
+class TestFaultPlanDeterminism:
+    """Satellite: seeded fault plans are identical across backends."""
+
+    def test_deaths_config_identical_across_runners(self):
+        cfg = SimulationConfig(
+            n_sensors=15, n_sinks=2, duration_s=300.0, seed=4,
+            faults=(FaultSpec(kind="deaths", intensity=0.4),))
+        from repro.harness.runner import Job
+
+        serial = SerialRunner().run_jobs([Job("packet", cfg)])
+        pooled = ProcessPoolRunner(max_workers=1).run_jobs([Job("packet", cfg)])
+        assert serial[0].to_dict() == pooled[0].to_dict()
+
+    def test_random_deaths_plan_reproducible(self):
+        from repro import Simulation
+        from repro.network.faults import FaultPlan
+
+        plans = []
+        for _ in range(2):
+            sim = Simulation(SimulationConfig(
+                n_sensors=20, n_sinks=2, duration_s=300.0, seed=11))
+            plans.append(FaultPlan.random_deaths(sim, 0.3))
+        assert plans[0] == plans[1]
+        assert len(plans[0].failures) == 6
+
+
+class TestCli:
+    def test_faults_subcommand_smoke(self, capsys):
+        code = main(["faults", "--kind", "deaths",
+                     "--intensities", "0.0,0.4", "--protocols", "direct",
+                     "--duration", "300", "--replicates", "1",
+                     "--sensors", "12", "--sinks", "2", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault campaign: kind=deaths" in out
+        assert "direct" in out
+
+    def test_faults_subcommand_save(self, tmp_path, capsys):
+        out_path = tmp_path / "campaign.json"
+        code = main(["faults", "--kind", "outages",
+                     "--intensities", "0.3", "--protocols", "direct",
+                     "--duration", "300", "--replicates", "1",
+                     "--sensors", "12", "--quiet",
+                     "--save", str(out_path)])
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["spec"]["kind"] == "outages"
+        assert "direct" in data["curves"]
+
+    def test_faults_subcommand_rejects_bad_protocols(self, capsys):
+        assert main(["faults", "--protocols", "carrier-pigeon",
+                     "--quiet"]) == 2
+
+    def test_faults_subcommand_rejects_bad_intensities(self, capsys):
+        assert main(["faults", "--intensities", "a,b", "--quiet"]) == 2

@@ -1,0 +1,287 @@
+"""Tests for the pluggable fault-model family (network/faults.py).
+
+The test suite forces ``REPRO_CHECK_INVARIANTS`` (see conftest), so
+every simulation below also asserts the protocol invariants — including
+the extended copy-conservation ledger with reboot purges.
+"""
+
+import pytest
+
+from repro import Simulation, SimulationConfig
+from repro.network.faults import (
+    FAULT_KINDS,
+    FaultSpec,
+    PermanentDeaths,
+    RadioImpairment,
+    SinkOutage,
+    TransientOutages,
+)
+
+
+def build(protocol="opt", duration=400.0, seed=13, sensors=25, sinks=2,
+          faults=(), **kwargs):
+    return Simulation(SimulationConfig(
+        protocol=protocol, duration_s=duration, seed=seed,
+        n_sensors=sensors, n_sinks=sinks, faults=tuple(faults), **kwargs))
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor")
+
+    def test_intensity_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="deaths", intensity=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="deaths", intensity=-0.1)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="deaths", start_s=100.0, end_s=50.0)
+
+    def test_range_factor_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="radio", range_factor=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="radio", range_factor=1.5)
+
+    def test_round_trip(self):
+        spec = FaultSpec(kind="outages", intensity=0.3, start_s=10.0,
+                         end_s=200.0, mean_downtime_s=50.0,
+                         purge_buffer=False)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+            FaultSpec.from_dict({"kind": "deaths", "blast_radius": 3})
+
+    def test_scaled(self):
+        spec = FaultSpec(kind="deaths", intensity=0.1, start_s=5.0)
+        scaled = spec.scaled(0.8)
+        assert scaled.intensity == 0.8
+        assert scaled.start_s == 5.0
+
+    def test_build_dispatches_by_kind(self):
+        classes = {"deaths": PermanentDeaths, "outages": TransientOutages,
+                   "radio": RadioImpairment, "sink_outage": SinkOutage}
+        assert set(classes) == set(FAULT_KINDS)
+        for kind, cls in classes.items():
+            assert isinstance(FaultSpec(kind=kind).build(), cls)
+
+
+class TestConfigIntegration:
+    def test_config_round_trip_with_faults(self):
+        cfg = SimulationConfig(
+            protocol="opt", duration_s=500.0,
+            faults=(FaultSpec(kind="deaths", intensity=0.2),
+                    FaultSpec(kind="radio", intensity=0.1,
+                              range_factor=0.5)))
+        assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_fault_list_normalized_to_tuple(self):
+        cfg = SimulationConfig(faults=[FaultSpec(kind="deaths")])
+        assert isinstance(cfg.faults, tuple)
+
+    def test_non_spec_entries_rejected(self):
+        with pytest.raises(ValueError, match="must be FaultSpec"):
+            SimulationConfig(faults=({"kind": "deaths"},))
+
+    def test_simulation_builds_models_from_config(self):
+        sim = build(faults=[FaultSpec(kind="deaths", intensity=0.2),
+                            FaultSpec(kind="sink_outage", intensity=0.5)])
+        assert [type(m) for m in sim.fault_models] == [
+            PermanentDeaths, SinkOutage]
+
+
+class TestPermanentDeaths:
+    def test_kills_the_configured_fraction(self):
+        sim = build(faults=[FaultSpec(kind="deaths", intensity=0.4)])
+        sim.run()
+        model = sim.fault_models[0]
+        assert len(model.killed) == 10  # 40% of 25
+        assert model.injections == 10
+        dead = [s for s in sim.sensors if s.agent.failed]
+        assert sorted(s.node_id for s in dead) == sorted(model.killed)
+        assert all(s.agent.failed_permanently for s in dead)
+
+    def test_same_seed_same_victims(self):
+        spec = FaultSpec(kind="deaths", intensity=0.4)
+        runs = []
+        for _ in range(2):
+            sim = build(faults=[spec])
+            sim.run()
+            runs.append(sorted(sim.fault_models[0].killed))
+        assert runs[0] == runs[1]
+
+    def test_zero_intensity_is_a_no_op(self):
+        plain = build().run()
+        with_faults = build(faults=[FaultSpec(kind="deaths",
+                                              intensity=0.0)]).run()
+        assert plain.to_dict() == with_faults.to_dict()
+
+
+class TestTransientOutages:
+    SPEC = FaultSpec(kind="outages", intensity=0.4, mean_downtime_s=60.0,
+                     end_s=250.0)
+
+    def test_downed_nodes_recover(self):
+        sim = build(duration=800.0, faults=[self.SPEC])
+        sim.run()
+        model = sim.fault_models[0]
+        assert model.injections == 10
+        assert model.recoveries == 10  # downtimes fit well inside 800 s
+        assert not any(s.agent.failed for s in sim.sensors)
+
+    def test_traffic_resumes_after_recovery(self):
+        sim = build(duration=1500.0, seed=3, faults=[
+            FaultSpec(kind="outages", intensity=1.0, mean_downtime_s=30.0,
+                      start_s=100.0, end_s=200.0)])
+        sim.run()
+        # Every sensor was downed early and recovered; all must have
+        # generated messages after the outage window.
+        assert sim.fault_models[0].recoveries == 25
+        latest = max(sim.collector.generated.values())
+        assert latest > 300.0
+
+    def test_purge_empties_buffers(self):
+        sim = build(duration=800.0, faults=[self.SPEC])
+        sim.run()
+        purged = sum(s.queue.stats.purged for s in sim.sensors)
+        assert purged > 0
+
+    def test_no_purge_keeps_buffers(self):
+        spec = FaultSpec(kind="outages", intensity=0.4,
+                         mean_downtime_s=60.0, end_s=250.0,
+                         purge_buffer=False)
+        sim = build(duration=800.0, faults=[spec])
+        sim.run()
+        assert sum(s.queue.stats.purged for s in sim.sensors) == 0
+
+    def test_never_recovers_permanently_dead_nodes(self):
+        # Every sensor dies permanently at t=50; every sensor also gets
+        # an outage episode.  The outage model must skip the corpses.
+        sim = build(duration=600.0, faults=[
+            FaultSpec(kind="deaths", intensity=1.0, start_s=50.0,
+                      end_s=51.0),
+            FaultSpec(kind="outages", intensity=1.0, start_s=100.0,
+                      end_s=200.0, mean_downtime_s=20.0)])
+        sim.run()
+        outages = sim.fault_models[1]
+        assert outages.injections == 0
+        assert outages.recoveries == 0
+        assert all(s.agent.failed for s in sim.sensors)
+
+
+class TestSinkOutage:
+    def test_sinks_down_inside_window_and_back_after(self):
+        spec = FaultSpec(kind="sink_outage", intensity=1.0, start_s=100.0,
+                         end_s=300.0)
+        sim = build(duration=500.0, faults=[spec])
+        seen = {}
+        sim.scheduler.schedule_at(
+            200.0, lambda: seen.update(
+                mid=[s.agent.failed for s in sim.sinks]))
+        sim.run()
+        assert seen["mid"] == [True, True]
+        assert not any(s.agent.failed for s in sim.sinks)
+        model = sim.fault_models[0]
+        assert model.injections == 2
+        assert model.recoveries == 2
+
+    def test_fraction_rounds_to_sink_count(self):
+        spec = FaultSpec(kind="sink_outage", intensity=0.5, start_s=50.0,
+                         end_s=150.0)
+        sim = build(duration=300.0, faults=[spec])
+        sim.run()
+        assert sim.fault_models[0].injections == 1
+
+
+class TestRadioImpairment:
+    def test_total_loss_blocks_every_delivery(self):
+        sim = build(duration=400.0, faults=[
+            FaultSpec(kind="radio", intensity=1.0)])
+        result = sim.run()
+        assert result.transmissions > 0
+        assert sim.medium.stats.frames_delivered == 0
+        assert result.messages_delivered == 0
+
+    def test_loss_only_inside_window(self):
+        sim = build(duration=600.0, faults=[
+            FaultSpec(kind="radio", intensity=1.0, start_s=0.0,
+                      end_s=300.0)])
+        sim.run()
+        assert sim.medium.stats.frames_delivered > 0  # after the window
+
+    def test_range_derating_reduces_connectivity(self):
+        base = dict(duration=600.0, seed=5, sensors=30)
+        plain = build(**base).run()
+        derated = build(faults=[FaultSpec(kind="radio", intensity=0.0,
+                                          range_factor=0.3)], **base).run()
+        assert (derated.agent_totals["data_received"]
+                < plain.agent_totals["data_received"])
+
+    def test_window_markers_count_once(self):
+        sim = build(duration=400.0, faults=[
+            FaultSpec(kind="radio", intensity=0.2, start_s=50.0,
+                      end_s=200.0)])
+        sim.run()
+        model = sim.fault_models[0]
+        assert model.injections == 1
+        assert model.recoveries == 1
+
+
+class TestTelemetryNeutrality:
+    @pytest.mark.parametrize("spec", [
+        FaultSpec(kind="deaths", intensity=0.4),
+        FaultSpec(kind="outages", intensity=0.4, mean_downtime_s=60.0),
+        FaultSpec(kind="radio", intensity=0.3, range_factor=0.7),
+        FaultSpec(kind="sink_outage", intensity=0.5, start_s=50.0,
+                  end_s=200.0),
+    ], ids=lambda s: s.kind)
+    def test_results_identical_with_and_without_bus(self, spec):
+        plain = build(faults=[spec]).run()
+        with_bus = build(faults=[spec], telemetry=True).run()
+        assert plain.to_dict() == with_bus.to_dict()
+
+    def test_invariants_actually_swept(self):
+        # conftest forces REPRO_CHECK_INVARIANTS; prove the fault runs
+        # above are not vacuously compliant.
+        sim = build(faults=[FaultSpec(kind="outages", intensity=0.4,
+                                      mean_downtime_s=60.0)])
+        sim.run()
+        assert sim.invariant_checks_run > 0
+
+
+class TestBusEvents:
+    def test_outages_emit_inject_and_recover(self):
+        sim = build(duration=800.0, faults=[TestTransientOutages.SPEC])
+        injected, recovered = [], []
+        bus = sim.enable_telemetry()
+        bus.subscribe("fault.inject", injected.append)
+        bus.subscribe("fault.recover", recovered.append)
+        sim.run()
+        assert len(injected) == 10
+        assert len(recovered) == 10
+        assert all(e.model == "outages" and e.detail == "outage"
+                   for e in injected)
+        assert all(e.down_s > 0 for e in recovered)
+
+    def test_metrics_registry_counts_faults(self):
+        sim = build(duration=800.0, telemetry=True,
+                    faults=[TestTransientOutages.SPEC])
+        result = sim.run()
+        metrics = result.telemetry["metrics"]
+        assert metrics["counters"]["faults_injected.outages"] == 10
+        assert metrics["counters"]["faults_recovered.outages"] == 10
+
+    def test_purge_drops_appear_in_trace(self, tmp_path):
+        from repro.obs.export import read_trace
+
+        path = tmp_path / "trace.jsonl"
+        sim = build(duration=800.0, trace_path=str(path),
+                    faults=[TestTransientOutages.SPEC])
+        sim.run()
+        causes = {e["cause"] for e in read_trace(path)
+                  if e["topic"] == "queue.drop"}
+        assert "purge" in causes

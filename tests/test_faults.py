@@ -106,3 +106,32 @@ class TestInjection:
         plan = FaultPlan.random_deaths(sim, 0.6, end_s=200.0)
         FaultInjector(sim, plan).arm()
         sim.run()  # must not raise
+
+    def test_kill_fires_before_same_time_protocol_events(self):
+        """Regression: kills must carry FAULT_PRIORITY so that a node
+        dying at time t is dead before any protocol event at t runs.
+
+        Pre-fix the injector scheduled at the default priority 0, so a
+        same-time event scheduled earlier (smaller sequence number) saw
+        the victim still alive.
+        """
+        sim = build(duration=300.0)
+        victim = sim.sensors[0]
+        observed = []
+        # Scheduled BEFORE arm(): same time, default priority, smaller
+        # seq — without an explicit priority the kill would lose the tie.
+        sim.scheduler.schedule_at(
+            50.0, lambda: observed.append(victim.agent.failed))
+        FaultInjector(sim, FaultPlan(failures=((50.0, victim.node_id),))).arm()
+        sim.scheduler.run_until(60.0)
+        assert observed == [True]
+
+    def test_kill_emits_fault_inject_on_bus(self):
+        sim = build(duration=300.0)
+        events = []
+        sim.enable_telemetry().subscribe("fault.inject", events.append)
+        victim = sim.sensors[0].node_id
+        FaultInjector(sim, FaultPlan(failures=((50.0, victim),))).arm()
+        sim.run()
+        assert [(e.node, e.model, e.detail) for e in events] == [
+            (victim, "deaths", "death")]

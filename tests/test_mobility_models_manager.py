@@ -155,3 +155,62 @@ class TestManager:
         sched.run_until(3.5)
         # One tick chain only: events at t=1,2,3.
         assert sched.events_fired == 3
+
+
+class _FixedPositions(StationaryMobility):
+    """Stationary model whose positions bypass the area check.
+
+    The spatial index must stay correct for any coordinates a model
+    produces, including negative ones (e.g. an extension model centered
+    on the origin), so these tests plant positions directly.
+    """
+
+    def __init__(self, node_ids, area, coords):
+        super().__init__(node_ids, area,
+                         positions=[(0.0, 0.0)] * len(node_ids))
+        self.positions = np.array(coords, dtype=float)
+
+
+class TestGridBinning:
+    """Regression tests for the floor-based uniform-grid cell keys.
+
+    ``int(x * inv)`` truncates toward zero, merging the ``[-r, 0)`` and
+    ``[0, r)`` bins into one double-width cell per axis around the
+    origin — breaking the uniform-grid contract (every cell spans
+    exactly ``comm_range``) and quadrupling the 3x3-scan work there.
+    ``math.floor`` keeps every cell exactly one range wide.
+    """
+
+    def _manager(self, coords, comm_range=10.0):
+        area = Area(1000, 1000)
+        sched = EventScheduler()
+        model = _FixedPositions(list(range(len(coords))), area, coords)
+        return MobilityManager(sched, area, [model], comm_range=comm_range)
+
+    def test_negative_coordinates_bin_by_floor(self):
+        # x = -5 with range 10 lies in cell -1 ([-10, 0)), not cell 0:
+        # truncation would give int(-0.5) == 0 and fold both sides of
+        # the origin into the same key.
+        mgr = self._manager([(-5.0, -5.0), (5.0, 5.0)])
+        assert (-1, -1) in mgr._cells
+        assert mgr._cells[(-1, -1)] == [0]
+        assert mgr._cells[(0, 0)] == [1]
+
+    def test_each_cell_spans_exactly_one_range(self):
+        # Nodes one range apart along an axis must land in consecutive
+        # cells, including across the origin.
+        xs = [-25.0, -15.0, -5.0, 5.0, 15.0]
+        mgr = self._manager([(x, 0.0) for x in xs])
+        keys = sorted(key[0] for key in mgr._cells)
+        assert keys == [-3, -2, -1, 0, 1]
+
+    def test_neighbors_match_brute_force_across_origin(self):
+        rng = random.Random(42)
+        coords = [(rng.uniform(-30, 30), rng.uniform(-30, 30))
+                  for _ in range(60)]
+        mgr = self._manager(coords, comm_range=7.5)
+        for nid in range(len(coords)):
+            expected = sorted(
+                other for other in range(len(coords))
+                if other != nid and mgr.in_range(nid, other))
+            assert sorted(mgr.neighbors_of(nid)) == expected

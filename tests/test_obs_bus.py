@@ -88,7 +88,9 @@ class TestTelemetryBus:
 
     def test_topics_is_closed_set(self):
         assert "frame.tx" in TOPICS
-        assert len(TOPICS) == 12
+        assert "fault.inject" in TOPICS
+        assert "fault.recover" in TOPICS
+        assert len(TOPICS) == 14
 
 
 # ----------------------------------------------------------------------

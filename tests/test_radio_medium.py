@@ -123,6 +123,25 @@ class TestCollisions:
         assert [f.src for f in got] == [0, 2]
         assert medium.stats.frames_corrupted == 0
 
+    def test_receiver_sleeping_at_frame_end_misses_collision_too(self):
+        """Regression: a receiver that left the listening state mid-frame
+        misses the frame entirely — corrupted or not.
+
+        The collision branch used to skip the ``can_receive`` check that
+        the delivery branch always had, notifying sleeping (or by-then
+        transmitting) radios of collisions and inflating
+        ``frames_corrupted``.
+        """
+        sched, medium, (a, b, c) = build([(0, 0), (5, 0), (10, 0)])
+        got = collect(b)
+        a.transmit(Preamble(0))
+        sched.schedule(0.001, lambda: c.transmit(Preamble(2)))  # corrupts at b
+        sched.schedule(0.002, b.sleep)  # b gives up mid-frame
+        sched.run_until(1.0)
+        assert got == []
+        assert b.collisions_heard == 0
+        assert medium.stats.frames_corrupted == 0
+
 
 class TestCarrierSense:
     def test_channel_busy_during_neighbor_transmission(self):
