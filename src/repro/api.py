@@ -26,6 +26,9 @@ The surface covers six layers:
 * **Contact-level simulation** — :class:`ContactSimConfig`,
   :func:`run_contact_simulation`, :func:`policy_comparison` and the
   mobility building blocks.
+* **Correctness tooling** — the static-analysis engine behind
+  ``dftmsn lint`` (:func:`lint_paths`, :func:`lint_source`,
+  :class:`Finding`; see ``docs/CHECKS.md``).
 """
 
 from __future__ import annotations
@@ -123,6 +126,9 @@ from repro.mobility import (
 )
 from repro.traffic import BurstTraffic
 
+# -- correctness tooling ----------------------------------------------------
+from repro.checks import Finding, lint_paths, lint_source
+
 __all__ = [
     # configure & run
     "ProtocolParameters",
@@ -196,4 +202,8 @@ __all__ = [
     "StationaryMobility",
     "ZoneGridMobility",
     "BurstTraffic",
+    # correctness tooling
+    "Finding",
+    "lint_paths",
+    "lint_source",
 ]

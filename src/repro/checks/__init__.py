@@ -2,9 +2,13 @@
 
 Three coordinated layers (see ``docs/CHECKS.md``):
 
-* :mod:`repro.checks.lint` — an AST-based, project-specific lint that
-  guards the determinism and float-safety conventions the reproduction
-  relies on (``dftmsn lint``);
+* the static-analysis engine (``dftmsn lint``) — a two-pass,
+  project-aware lint guarding the determinism, float-safety, telemetry,
+  facade, serialization and layering conventions the reproduction
+  relies on (:mod:`repro.checks.engine` drives it over the
+  :mod:`repro.checks.project` model and the :mod:`repro.checks.rules`
+  registry; :mod:`repro.checks.lint` keeps the historical import
+  surface);
 * :mod:`repro.checks.invariants` — a runtime checker asserting the
   paper's protocol invariants (Eq. 1-3, queue order, buffer bounds,
   clock monotonicity, message-copy conservation) during a run;

@@ -1,0 +1,96 @@
+"""Finding baselines: adopt the lint on a tree with known debt.
+
+A baseline is a committed JSON inventory of accepted findings, keyed by
+``(rule, path, message)`` with an occurrence count.  ``dftmsn lint
+--baseline FILE`` subtracts it from the current findings, so CI fails
+only on *new* findings while the recorded debt is burned down
+independently.  Entries are count-based rather than line-based so that
+unrelated edits shifting line numbers do not invalidate the baseline,
+while a *second* occurrence of a baselined finding still fails.
+
+The repository's own committed baseline (``lint-baseline.json``) is
+empty — the tree lints clean — but the mechanism lets a branch adopt a
+new rule before its findings are all fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.checks.rules.base import Finding
+
+#: Identity of a baselined finding (line numbers deliberately excluded).
+BaselineKey = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> BaselineKey:
+    return (finding.rule, pathlib.PurePath(finding.path).as_posix(),
+            finding.message)
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed ``(rule, posix path, message)`` -> count."""
+
+    entries: Dict[BaselineKey, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = pathlib.Path(path)
+        if not file_path.exists():
+            return cls()
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+        entries: Dict[BaselineKey, int] = {}
+        for item in payload.get("findings", []):
+            key = (str(item["rule"]), str(item["path"]),
+                   str(item["message"]))
+            entries[key] = int(item.get("count", 1))
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build the baseline that accepts exactly ``findings``."""
+        entries: Dict[BaselineKey, int] = {}
+        for finding in findings:
+            key = _key(finding)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        items = [
+            {"rule": rule, "path": posix, "message": message, "count": count}
+            for (rule, posix, message), count in sorted(self.entries.items())
+        ]
+        payload = {"version": 1, "findings": items}
+        pathlib.Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Findings not covered by this baseline (the ones CI fails on).
+
+        Consumes baseline counts in reporting order: with a count of N,
+        the first N matching findings are absorbed and any further
+        occurrence is returned as new.
+        """
+        remaining = dict(self.entries)
+        new: List[Finding] = []
+        for finding in findings:
+            key = _key(finding)
+            left = remaining.get(key, 0)
+            if left > 0:
+                remaining[key] = left - 1
+            else:
+                new.append(finding)
+        return new
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+__all__ = ["Baseline", "BaselineKey"]

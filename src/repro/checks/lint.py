@@ -1,449 +1,48 @@
-"""Project-specific determinism / float-safety lint (stdlib ``ast`` only).
+"""Back-compat surface of the lint (PR 7 split it into a package).
 
-The reproduction's headline guarantee — bit-for-bit identical results
-for a given seed, serial or parallel — cannot be expressed in the test
-suite directly; it is a property of *conventions*: all randomness flows
-through injected ``random.Random`` streams, simulation code never reads
-wall clocks, nothing iterates unordered containers on a path that feeds
-scheduling or RNG draws, and probability-valued floats are never
-compared exactly.  This module machine-checks those conventions.
+Historically this module *was* the whole linter.  It is now a facade
+over the two-pass engine:
 
-Rules (stable IDs, documented in ``docs/CHECKS.md``):
+* :mod:`repro.checks.project` — pass 1, the project model
+  (``SIM_PACKAGES`` / ``SIM_MODULES`` enrollment lives there too);
+* :mod:`repro.checks.rules` — the rule registry, one module per family;
+* :mod:`repro.checks.engine` — pragma parsing, the two passes, autofix;
+* :mod:`repro.checks.baseline` / :mod:`repro.checks.output` — baseline
+  workflow and text/JSON/SARIF formatting.
 
-========  ==============================================================
-DET001    direct module-level ``random.*`` call (RNG must be injected)
-DET002    wall-clock read inside simulation packages
-DET003    iteration over an unordered ``set`` in simulation packages
-FLT001    exact ``==``/``!=`` on probability-typed float expressions
-MUT001    mutable default argument
-========  ==============================================================
-
-Suppression: append ``# lint: disable=ID`` (comma-separate several IDs,
-or use ``all``) to the offending physical line.  Every pragma in
-committed code must be justified in ``docs/CHECKS.md``.
-
-Run via ``dftmsn lint [paths...]`` or programmatically through
-:func:`lint_paths` / :func:`lint_source`.
+Every name importable from here before the split still is — callers
+(``repro.api``, the CLI, external tooling) need not change.
 """
 
 from __future__ import annotations
 
-import ast
-import pathlib
-import re
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Type
-
-#: Packages whose modules form the deterministic simulation core; the
-#: DET002/DET003 rules apply only inside these.
-SIM_PACKAGES = frozenset({"core", "des", "network", "contact", "obs"})
-
-#: Individual ``(package, module)`` pairs outside :data:`SIM_PACKAGES`
-#: that still carry the bit-for-bit reproducibility guarantee and so get
-#: the sim-only rules.  ``harness/faults.py`` assembles seeded fault
-#: campaigns whose results must match across serial/parallel backends.
-SIM_MODULES = frozenset({("harness", "faults")})
-
-_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint violation at a source location."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def format(self) -> str:
-        """``path:line:col: RULE message`` (editor-clickable)."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
-
-
-class Rule(ast.NodeVisitor):
-    """Base lint rule: an AST visitor accumulating (line, col, message).
-
-    Subclasses set :attr:`rule_id`, :attr:`sim_only` and override the
-    ``visit_*`` hooks, calling :meth:`report` on violations.  The class
-    docstring of each rule is its user-facing documentation (shown by
-    ``dftmsn lint --list-rules``).
-    """
-
-    rule_id: str = ""
-    #: Whether the rule only applies inside :data:`SIM_PACKAGES` modules.
-    sim_only: bool = False
-
-    def __init__(self) -> None:
-        self.found: List[Tuple[int, int, str]] = []
-
-    def report(self, node: ast.AST, message: str) -> None:
-        """Record one violation at ``node``'s location."""
-        self.found.append(
-            (getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
-             message))
-
-    def check(self, tree: ast.AST) -> List[Tuple[int, int, str]]:
-        """Run this rule over a parsed module."""
-        self.found = []
-        self.visit(tree)
-        return self.found
-
-
-# ----------------------------------------------------------------------
-# small AST helpers
-# ----------------------------------------------------------------------
-def _attr_call(node: ast.Call) -> Optional[Tuple[str, str]]:
-    """``(base_name, attr)`` for a ``base.attr(...)`` call, else None."""
-    func = node.func
-    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-        return func.value.id, func.attr
-    return None
-
-
-def _terminal_name(node: ast.AST) -> Optional[str]:
-    """The rightmost identifier of a Name/Attribute expression."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
-
-
-# ----------------------------------------------------------------------
-# DET001 — module-level random.* calls
-# ----------------------------------------------------------------------
-class Det001(Rule):
-    """DET001: call into the module-level ``random`` API.
-
-    ``random.random()``, ``random.seed()``, ``random.choice()`` etc.
-    draw from (or reseed) the interpreter-global Mersenne Twister, whose
-    state is shared across every caller in the process — one extra draw
-    anywhere silently perturbs every subsequent result, and worker
-    processes each see a differently seeded instance.  All randomness
-    must flow through an injected ``random.Random`` (usually a named
-    stream from :class:`repro.des.rng.RandomStreams`).  Constructing
-    ``random.Random(seed)`` instances is the sanctioned pattern and is
-    not flagged.
-    """
-
-    rule_id = "DET001"
-    _ALLOWED = frozenset({"Random", "SystemRandom"})
-
-    def visit_Call(self, node: ast.Call) -> None:
-        target = _attr_call(node)
-        if (target is not None and target[0] == "random"
-                and target[1] not in self._ALLOWED):
-            self.report(
-                node,
-                f"call to module-level random.{target[1]}(); draw from an "
-                "injected random.Random stream instead")
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "random":
-            bad = [a.name for a in node.names
-                   if a.name not in self._ALLOWED]
-            if bad:
-                self.report(
-                    node,
-                    f"importing {', '.join(bad)} from random binds the "
-                    "process-global RNG; inject a random.Random instead")
-        self.generic_visit(node)
-
-
-# ----------------------------------------------------------------------
-# DET002 — wall-clock reads in simulation code
-# ----------------------------------------------------------------------
-class Det002(Rule):
-    """DET002: wall-clock read inside a simulation package.
-
-    Simulation code (``core/``, ``des/``, ``network/``, ``contact/``)
-    must tell time exclusively through ``scheduler.now``; any
-    ``time.time()`` / ``time.perf_counter()`` / ``datetime.now()`` read
-    couples behaviour to the host machine and breaks seed
-    reproducibility.  Wall-clock *metrics* (e.g. measuring a run's
-    real duration, never fed back into simulation state) are the one
-    legitimate use and carry a justified ``# lint: disable=DET002``.
-    """
-
-    rule_id = "DET002"
-    sim_only = True
-    _TIME_ATTRS = frozenset({
-        "time", "time_ns", "perf_counter", "perf_counter_ns",
-        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
-    })
-    _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
-
-    def visit_Call(self, node: ast.Call) -> None:
-        target = _attr_call(node)
-        if target is not None:
-            base, attr = target
-            if base == "time" and attr in self._TIME_ATTRS:
-                self.report(node, f"wall-clock read time.{attr}() in "
-                                  "simulation code; use scheduler.now")
-        func = node.func
-        if (isinstance(func, ast.Attribute)
-                and func.attr in self._DATETIME_ATTRS
-                and _terminal_name(func.value) in ("datetime", "date")):
-            self.report(node, f"wall-clock read {ast.unparse(func)}() in "
-                              "simulation code; use scheduler.now")
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "time":
-            bad = [a.name for a in node.names if a.name in self._TIME_ATTRS]
-            if bad:
-                self.report(node, f"importing {', '.join(bad)} from time "
-                                  "into simulation code; use scheduler.now")
-        self.generic_visit(node)
-
-
-# ----------------------------------------------------------------------
-# DET003 — iteration over unordered sets in simulation code
-# ----------------------------------------------------------------------
-class Det003(Rule):
-    """DET003: iterating an unordered ``set`` in a simulation package.
-
-    ``set`` iteration order depends on element hashes (and, for str
-    keys, on ``PYTHONHASHSEED``), so a loop over a set that feeds event
-    scheduling or RNG draws can reorder those draws between runs or
-    interpreter versions.  Iterate ``sorted(the_set)`` (or keep a list /
-    dict, which preserve insertion order) instead.  Flagged forms: a
-    ``for`` loop or comprehension whose iterable is a ``set(...)`` /
-    ``frozenset(...)`` call, a set literal or comprehension, or a set
-    expression combined with the ``- & | ^`` operators.
-    """
-
-    rule_id = "DET003"
-    sim_only = True
-    _SET_OPS = (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)
-
-    def _is_set_expr(self, node: ast.AST) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
-                and node.func.id in ("set", "frozenset")):
-            return True
-        if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_OPS):
-            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
-        return False
-
-    def _check_iter(self, node: ast.AST, iterable: ast.AST) -> None:
-        if self._is_set_expr(iterable):
-            self.report(node, "iteration over an unordered set in "
-                              "simulation code; iterate sorted(...) instead")
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node, node.iter)
-        self.generic_visit(node)
-
-    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
-        self._check_iter(node, node.iter)
-        self.generic_visit(node)
-
-    def _visit_comp(self, node: ast.AST, generators: Sequence[ast.comprehension]) -> None:
-        for gen in generators:
-            self._check_iter(node, gen.iter)
-        self.generic_visit(node)
-
-    def visit_ListComp(self, node: ast.ListComp) -> None:
-        self._visit_comp(node, node.generators)
-
-    def visit_SetComp(self, node: ast.SetComp) -> None:
-        self._visit_comp(node, node.generators)
-
-    def visit_DictComp(self, node: ast.DictComp) -> None:
-        self._visit_comp(node, node.generators)
-
-    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
-        self._visit_comp(node, node.generators)
-
-
-# ----------------------------------------------------------------------
-# FLT001 — exact equality on probability floats
-# ----------------------------------------------------------------------
-class Flt001(Rule):
-    """FLT001: exact ``==`` / ``!=`` between probability-typed floats.
-
-    Probability values (FTD, ``xi``, ``gamma``, confidence levels) reach
-    a comparison along different arithmetic paths, so mathematically
-    equal values differ by ULPs and exact equality classifies them
-    inconsistently.  Motivating cases: PR 1's ``analysis/collision.py``
-    threshold bug (sigma vectors ``[5, 3]`` and ``[5, 4]`` both give
-    ``gamma`` exactly 1/5, ~1e-16 apart in floats), and
-    ``metrics/stats.py``'s ``confidence != 0.95``, which rejected the
-    ``0.9500000000000001`` produced by ordinary caller arithmetic.  Use
-    :func:`repro.checks.tolerance.tolerant_eq` (or ``tolerant_le`` for
-    thresholds) instead.
-
-    Flagged: an ``==``/``!=`` comparison where an operand is a
-    non-integral float literal, or where a probability-named operand
-    (``ftd``/``xi``/``gamma``/``prob``/``confidence``/``alpha``) meets a
-    float literal or another probability-named operand.
-    """
-
-    rule_id = "FLT001"
-    _PROB_NAME = re.compile(
-        r"(?:^|_)(ftd|xi|gamma|prob|probability|confidence|alpha)(?:_|$)",
-        re.IGNORECASE)
-
-    def _is_prob_expr(self, node: ast.AST) -> bool:
-        name = _terminal_name(node)
-        return name is not None and bool(self._PROB_NAME.search(name))
-
-    @staticmethod
-    def _float_const(node: ast.AST) -> Optional[float]:
-        if isinstance(node, ast.Constant) and isinstance(node.value, float):
-            return node.value
-        return None
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
-            operands = [node.left] + list(node.comparators)
-            floats = [v for v in map(self._float_const, operands)
-                      if v is not None]
-            prob_named = sum(map(self._is_prob_expr, operands))
-            fractional = any(not v.is_integer() for v in floats)
-            if fractional or (prob_named and floats) or prob_named >= 2:
-                self.report(
-                    node,
-                    "exact ==/!= on a probability-typed float; use "
-                    "repro.checks.tolerance.tolerant_eq")
-        self.generic_visit(node)
-
-
-# ----------------------------------------------------------------------
-# MUT001 — mutable default arguments
-# ----------------------------------------------------------------------
-class Mut001(Rule):
-    """MUT001: mutable default argument.
-
-    A ``def f(x=[])`` default is evaluated once at definition time and
-    shared by every call — state leaks across calls (and, in this
-    code base, across *simulation runs* in one process, which breaks
-    run independence).  Default to ``None`` and materialize inside the
-    function.
-    """
-
-    rule_id = "MUT001"
-    _MUTABLE_CALLS = frozenset({
-        "list", "dict", "set", "bytearray", "defaultdict", "deque",
-    })
-
-    def _is_mutable(self, node: ast.AST) -> bool:
-        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
-                             ast.DictComp, ast.SetComp)):
-            return True
-        if isinstance(node, ast.Call):
-            name = _terminal_name(node.func)
-            return name in self._MUTABLE_CALLS
-        return False
-
-    def _check_args(self, node: ast.AST, args: ast.arguments) -> None:
-        defaults: List[ast.AST] = list(args.defaults)
-        defaults.extend(d for d in args.kw_defaults if d is not None)
-        for default in defaults:
-            if self._is_mutable(default):
-                self.report(default, "mutable default argument; default to "
-                                     "None and materialize in the body")
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_args(node, node.args)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_args(node, node.args)
-        self.generic_visit(node)
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        self._check_args(node, node.args)
-        self.generic_visit(node)
-
-
-#: All rules, in reporting order.
-RULES: Tuple[Type[Rule], ...] = (Det001, Det002, Det003, Flt001, Mut001)
-
-
-# ----------------------------------------------------------------------
-# engine
-# ----------------------------------------------------------------------
-def is_sim_module(path: str) -> bool:
-    """Whether ``path`` is deterministic-simulation code.
-
-    True inside any :data:`SIM_PACKAGES` directory, or for one of the
-    individually enrolled :data:`SIM_MODULES`.
-    """
-    pure = pathlib.PurePath(path)
-    parts = pure.parts
-    if any(part in SIM_PACKAGES for part in parts[:-1]):
-        return True
-    return len(parts) >= 2 and (parts[-2], pure.stem) in SIM_MODULES
-
-
-def _suppressed(source_lines: Sequence[str], line: int, rule_id: str) -> bool:
-    """Whether a ``# lint: disable=`` pragma covers ``rule_id`` at ``line``."""
-    if not 1 <= line <= len(source_lines):
-        return False
-    match = _PRAGMA_RE.search(source_lines[line - 1])
-    if match is None:
-        return False
-    ids = {part.strip().upper() for part in match.group(1).split(",")}
-    return "ALL" in ids or rule_id.upper() in ids
-
-
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    sim_module: Optional[bool] = None,
-) -> List[Finding]:
-    """Lint one module's source text; returns unsuppressed findings.
-
-    ``sim_module`` overrides the path-based classification (used by unit
-    tests to exercise the sim-only rules on snippets).
-    """
-    tree = ast.parse(source, filename=path)
-    sim = is_sim_module(path) if sim_module is None else sim_module
-    lines = source.splitlines()
-    findings: List[Finding] = []
-    for rule_cls in RULES:
-        if rule_cls.sim_only and not sim:
-            continue
-        rule = rule_cls()
-        for line, col, message in rule.check(tree):
-            if not _suppressed(lines, line, rule_cls.rule_id):
-                findings.append(Finding(path, line, col,
-                                        rule_cls.rule_id, message))
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
-    return findings
-
-
-def iter_python_files(paths: Iterable[str]) -> List[pathlib.Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    out: List[pathlib.Path] = []
-    for raw in paths:
-        path = pathlib.Path(raw)
-        if path.is_dir():
-            out.extend(sorted(path.rglob("*.py")))
-        else:
-            out.append(path)
-    return out
-
-
-def lint_paths(paths: Iterable[str]) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``; findings in path order."""
-    findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_source(path.read_text(), str(path)))
-    return findings
-
-
-def describe_rules() -> str:
-    """Human-readable catalogue of every rule (``--list-rules``)."""
-    blocks = []
-    for rule_cls in RULES:
-        doc = (rule_cls.__doc__ or "").strip()
-        scope = "simulation packages only" if rule_cls.sim_only else "all code"
-        blocks.append(f"{rule_cls.rule_id} ({scope})\n{doc}")
-    return "\n\n".join(blocks)
+from repro.checks.engine import (
+    apply_fixes,
+    describe_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_pragmas,
+)
+from repro.checks.project import SIM_MODULES, SIM_PACKAGES, is_sim_module
+from repro.checks.rules import NODE_RULES, PROJECT_RULES, RULES
+from repro.checks.rules.base import Finding, Fix, ProjectRule, Rule
+
+__all__ = [
+    "Finding",
+    "Fix",
+    "NODE_RULES",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "RULES",
+    "Rule",
+    "SIM_MODULES",
+    "SIM_PACKAGES",
+    "apply_fixes",
+    "describe_rules",
+    "is_sim_module",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_pragmas",
+]

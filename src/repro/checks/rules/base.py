@@ -1,0 +1,209 @@
+"""Shared plumbing of the lint rules: findings, fixes, rule bases.
+
+Two rule shapes exist (see ``docs/CHECKS.md``):
+
+* :class:`Rule` — a per-module AST visitor (pass 2 of the engine runs
+  one instance per linted module).  It may consult the pass-1
+  :class:`~repro.checks.project.ProjectModel` through its
+  :class:`RuleContext` when one is available, but must degrade
+  gracefully to single-module evidence when linting a snippet.
+* :class:`ProjectRule` — a whole-project rule that only makes sense
+  against the pass-1 model (facade consistency, layering contracts,
+  serialization completeness).  It returns full :class:`Finding`
+  objects because one rule may report into many files.
+
+A rule that knows how to mechanically repair a finding attaches a
+:class:`Fix` (a source span replacement); the engine applies fixes via
+:func:`repro.checks.engine.apply_fixes` (CLI ``dftmsn lint --fix``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checks.project import ProjectModel
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical source edit: replace one span with new text.
+
+    Coordinates are 1-based lines and 0-based columns, matching the
+    ``ast`` node attributes they are lifted from.  The span is
+    ``[start, end)`` in character terms.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Mechanical repair, when the rule knows one (``dftmsn lint --fix``).
+    fix: Optional[Fix] = None
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable reporting order."""
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass
+class RuleContext:
+    """What a per-module rule knows about the module it is visiting."""
+
+    path: str = "<string>"
+    #: Dotted module name when derivable from the path (else ``None``).
+    module: Optional[str] = None
+    #: Whether the module carries the deterministic-simulation contract.
+    sim: bool = False
+    #: The module's source text (enables source-segment fixes).
+    source: str = ""
+    #: Pass-1 project model, when linting a whole tree (else ``None``).
+    model: Optional["ProjectModel"] = None
+
+
+#: One raw per-module violation: (line, col, message, fix-or-None).
+RawFinding = Tuple[int, int, str, Optional[Fix]]
+
+
+class Rule(ast.NodeVisitor):
+    """Base per-module lint rule: an AST visitor accumulating findings.
+
+    Subclasses set :attr:`rule_id`, :attr:`sim_only` and override the
+    ``visit_*`` hooks, calling :meth:`report` on violations.  The class
+    docstring of each rule is its user-facing documentation (shown by
+    ``dftmsn lint --list-rules``).
+    """
+
+    rule_id: str = ""
+    #: Whether the rule only applies inside simulation modules (the
+    #: ``SIM_PACKAGES`` / ``SIM_MODULES`` enrollment in
+    #: :mod:`repro.checks.project`).
+    sim_only: bool = False
+
+    def __init__(self, context: Optional[RuleContext] = None) -> None:
+        self.context = context if context is not None else RuleContext()
+        self.found: List[RawFinding] = []
+
+    def report(self, node: ast.AST, message: str,
+               fix: Optional[Fix] = None) -> None:
+        """Record one violation at ``node``'s location."""
+        self.found.append(
+            (getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
+             message, fix))
+
+    def check(self, tree: ast.AST) -> List[RawFinding]:
+        """Run this rule over a parsed module."""
+        self.found = []
+        self.visit(tree)
+        return self.found
+
+    # ------------------------------------------------------------------
+    # source helpers (for fixes)
+    # ------------------------------------------------------------------
+    def source_segment(self, node: ast.AST) -> Optional[str]:
+        """The exact source text of ``node``, when the context has it."""
+        if not self.context.source:
+            return None
+        return ast.get_source_segment(self.context.source, node)  # type: ignore[arg-type]
+
+
+class ProjectRule:
+    """Base whole-project rule: checks the pass-1 model directly."""
+
+    rule_id: str = ""
+    sim_only: bool = False
+
+    def check_project(self, model: "ProjectModel") -> List[Finding]:
+        """Return this rule's findings over the whole project."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# small AST helpers shared by several rules
+# ----------------------------------------------------------------------
+def attr_call(node: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(base_name, attr)`` for a ``base.attr(...)`` call, else None."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+@dataclass
+class _ClassScope:
+    """One entry of a class-nesting stack kept by scope-aware rules."""
+
+    name: str
+    is_fault_model: bool = False
+    extra: List[str] = field(default_factory=list)
+
+
+class FaultScopeRule(Rule):
+    """A rule that needs to know when it is inside a ``FaultModel`` subclass.
+
+    Without a project model, only a *direct* base literally named
+    ``FaultModel`` is recognized; with one, transitive subclassing
+    resolved by pass 1 counts too.
+    """
+
+    def __init__(self, context: Optional[RuleContext] = None) -> None:
+        super().__init__(context)
+        self._class_stack: List[_ClassScope] = []
+
+    def _bases_mark_fault_model(self, node: ast.ClassDef) -> bool:
+        base_names = {terminal_name(b) for b in node.bases}
+        if "FaultModel" in base_names:
+            return True
+        model = self.context.model
+        if model is not None:
+            fault_classes = model.subclass_names("FaultModel")
+            return any(name in fault_classes
+                       for name in base_names if name is not None)
+        return False
+
+    def in_fault_model(self) -> bool:
+        """Whether the visitor currently sits inside a fault-model class."""
+        return any(scope.is_fault_model for scope in self._class_stack)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(
+            _ClassScope(node.name, self._bases_mark_fault_model(node)))
+        self.generic_visit(node)
+        self._class_stack.pop()

@@ -1,0 +1,93 @@
+"""Facade-consistency rules (API001 / API002)."""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import List
+
+from repro.checks.rules.base import Finding, ProjectRule
+from repro.checks.project import ProjectModel
+
+
+class Api001(ProjectRule):
+    """API001: every ``__all__`` name must resolve to a definition.
+
+    ``repro.api`` is the compatibility boundary (ROADMAP): examples and
+    downstream tools import only from it, and deep module paths may be
+    reorganized freely *only because* the facade keeps working.  A name
+    listed in ``__all__`` but not bound in the module — or bound by an
+    import whose re-export chain never reaches a real definition — is a
+    silently broken promise that only surfaces when a user imports it.
+    The rule checks every module that declares ``__all__``, chasing
+    re-export chains through the project model (cycle-safe).
+    """
+
+    rule_id = "API001"
+
+    def check_project(self, model: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for info in model.modules():
+            if info.exports is None:
+                continue
+            for name in info.exports:
+                if name not in info.symbols:
+                    findings.append(Finding(
+                        info.path, info.exports_lineno, 0, self.rule_id,
+                        f"__all__ lists {name!r} but the module never "
+                        "binds it"))
+                elif not model.resolves(info.name, name):
+                    findings.append(Finding(
+                        info.path, info.exports_lineno, 0, self.rule_id,
+                        f"__all__ name {name!r} does not resolve to a "
+                        "definition (broken re-export chain)"))
+        return findings
+
+
+class Api002(ProjectRule):
+    """API002: example-facing names must be re-exported by ``repro.api``.
+
+    Bundled ``examples/*.py`` import exclusively from ``repro.api``
+    (the PR 3 compatibility contract).  A name an example imports that
+    is missing from the facade's ``__all__`` means the public surface
+    regressed — the example may still run (module attributes resolve
+    past ``__all__``) but the documented surface no longer covers what
+    the examples demonstrate, and ``from repro.api import *`` users
+    lose it.  The rule locates the ``examples/`` directory three levels
+    above ``api.py`` (the repository layout) and checks every
+    ``from repro.api import ...`` against the facade inventory.
+    """
+
+    rule_id = "API002"
+
+    def check_project(self, model: ProjectModel) -> List[Finding]:
+        api_infos = [info for info in model.modules()
+                     if info.name.endswith(".api") and info.exports is not None]
+        findings: List[Finding] = []
+        for info in api_infos:
+            exports = set(info.exports or ())
+            api_path = pathlib.Path(info.path)
+            if len(api_path.parts) < 3:
+                continue
+            examples_dir = api_path.parent.parent.parent / "examples"
+            if not examples_dir.is_dir():
+                continue
+            for example in sorted(examples_dir.glob("*.py")):
+                try:
+                    tree = ast.parse(example.read_text(encoding="utf-8"),
+                                     filename=str(example))
+                except SyntaxError:
+                    continue
+                for node in ast.walk(tree):
+                    if not (isinstance(node, ast.ImportFrom)
+                            and node.module == info.name):
+                        continue
+                    for alias in node.names:
+                        if alias.name != "*" and alias.name not in exports:
+                            findings.append(Finding(
+                                str(example), node.lineno, node.col_offset,
+                                self.rule_id,
+                                f"example imports {alias.name!r} from "
+                                f"{info.name} but it is not in __all__; "
+                                "re-export it on the facade"))
+        return findings

@@ -1,0 +1,59 @@
+"""Float-safety rules."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from repro.checks.rules.base import Rule, terminal_name
+
+
+class Flt001(Rule):
+    """FLT001: exact ``==`` / ``!=`` between probability-typed floats.
+
+    Probability values (FTD, ``xi``, ``gamma``, confidence levels) reach
+    a comparison along different arithmetic paths, so mathematically
+    equal values differ by ULPs and exact equality classifies them
+    inconsistently.  Motivating cases: PR 1's ``analysis/collision.py``
+    threshold bug (sigma vectors ``[5, 3]`` and ``[5, 4]`` both give
+    ``gamma`` exactly 1/5, ~1e-16 apart in floats), and
+    ``metrics/stats.py``'s ``confidence != 0.95``, which rejected the
+    ``0.9500000000000001`` produced by ordinary caller arithmetic.  Use
+    :func:`repro.checks.tolerance.tolerant_eq` (or ``tolerant_le`` for
+    thresholds) instead.
+
+    Flagged: an ``==``/``!=`` comparison where an operand is a
+    non-integral float literal, or where a probability-named operand
+    (``ftd``/``xi``/``gamma``/``prob``/``confidence``/``alpha``) meets a
+    float literal or another probability-named operand.
+    """
+
+    rule_id = "FLT001"
+    _PROB_NAME = re.compile(
+        r"(?:^|_)(ftd|xi|gamma|prob|probability|confidence|alpha)(?:_|$)",
+        re.IGNORECASE)
+
+    def _is_prob_expr(self, node: ast.AST) -> bool:
+        name = terminal_name(node)
+        return name is not None and bool(self._PROB_NAME.search(name))
+
+    @staticmethod
+    def _float_const(node: ast.AST) -> Optional[float]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return node.value
+        return None
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            floats = [v for v in map(self._float_const, operands)
+                      if v is not None]
+            prob_named = sum(map(self._is_prob_expr, operands))
+            fractional = any(not v.is_integer() for v in floats)
+            if fractional or (prob_named and floats) or prob_named >= 2:
+                self.report(
+                    node,
+                    "exact ==/!= on a probability-typed float; use "
+                    "repro.checks.tolerance.tolerant_eq")
+        self.generic_visit(node)

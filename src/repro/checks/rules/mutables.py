@@ -1,0 +1,53 @@
+"""Mutable-state rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.checks.rules.base import Rule, terminal_name
+
+
+class Mut001(Rule):
+    """MUT001: mutable default argument.
+
+    A ``def f(x=[])`` default is evaluated once at definition time and
+    shared by every call — state leaks across calls (and, in this
+    code base, across *simulation runs* in one process, which breaks
+    run independence).  Default to ``None`` and materialize inside the
+    function.
+    """
+
+    rule_id = "MUT001"
+    _MUTABLE_CALLS = frozenset({
+        "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    })
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = terminal_name(node.func)
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def _check_args(self, node: ast.AST, args: ast.arguments) -> None:
+        defaults: List[ast.AST] = list(args.defaults)
+        defaults.extend(d for d in args.kw_defaults if d is not None)
+        for default in defaults:
+            if self._is_mutable(default):
+                self.report(default, "mutable default argument; default to "
+                                     "None and materialize in the body")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)

@@ -1,0 +1,47 @@
+"""Scheduler-priority discipline (SCH001)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.rules.base import FaultScopeRule, terminal_name
+
+
+class Sch001(FaultScopeRule):
+    """SCH001: fault actions must be scheduled at ``FAULT_PRIORITY``.
+
+    Same-time event ordering is a protocol contract: a fault firing at
+    time t must run after the mobility tick (priority -10) but before
+    every protocol event (priority 0), so a node killed at t never also
+    transmits at t — PR 4's death-time-transmit bug was exactly a fault
+    scheduled at default priority.  Inside a ``FaultModel`` subclass,
+    every ``scheduler.schedule_at(...)`` / ``schedule_in(...)`` /
+    ``schedule(...)`` call must therefore pass the keyword
+    ``priority=FAULT_PRIORITY``; a missing keyword, a literal, or any
+    other priority expression is a finding.
+    """
+
+    rule_id = "SCH001"
+    sim_only = True
+    _SCHEDULE_METHODS = frozenset({"schedule", "schedule_at", "schedule_in"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = terminal_name(node.func)
+        if (isinstance(node.func, ast.Attribute)
+                and name in self._SCHEDULE_METHODS
+                and self.in_fault_model()):
+            keyword = next(
+                (kw for kw in node.keywords if kw.arg == "priority"), None)
+            if keyword is None:
+                self.report(
+                    node,
+                    f"fault action scheduled via {name}() without "
+                    "priority=FAULT_PRIORITY; same-time ties against "
+                    "protocol events become nondeterministic hazards")
+            elif terminal_name(keyword.value) != "FAULT_PRIORITY":
+                self.report(
+                    node,
+                    f"fault action scheduled via {name}() with a priority "
+                    "other than FAULT_PRIORITY; fault events must order "
+                    "after mobility and before protocol events")
+        self.generic_visit(node)

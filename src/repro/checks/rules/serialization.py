@@ -1,0 +1,133 @@
+"""Serialization-completeness rule (SER001)."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.checks.rules.base import Finding, ProjectRule, terminal_name
+from repro.checks.project import ClassInfo, ModuleInfo, ProjectModel
+
+#: Dataclasses whose every field must survive the dict round trip: they
+#: ride across the ProcessPoolRunner boundary and into checkpoints, so a
+#: field the serializer misses is silently dropped config — the class of
+#: bug that makes a parallel run diverge from a serial one.
+SERIALIZED_CLASSES = ("SimulationConfig", "ProtocolParameters", "FaultSpec")
+
+#: Calls that make a handler field-generic: it enumerates dataclass
+#: fields at runtime, so new fields are handled automatically.
+_GENERIC_CALLS = frozenset({"fields", "asdict", "astuple"})
+
+
+def _method_is_generic(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if (isinstance(node, ast.Call)
+                and terminal_name(node.func) in _GENERIC_CALLS):
+            return True
+    return False
+
+
+def _field_literal_refs(method: ast.FunctionDef) -> Set[str]:
+    """String literals used as *field references* inside a handler.
+
+    Collected forms: ``payload["name"]`` subscripts, ``payload.get
+    ("name")`` first arguments, dict-literal keys, ``f.name == "name"``
+    comparisons, and keyword names of constructor-ish calls.  Free-text
+    strings (error messages, docstrings) are deliberately not collected.
+    """
+    refs: Set[str] = set()
+
+    def _literal(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Subscript):
+            value = _literal(node.slice)
+            if value is not None:
+                refs.add(value)
+        elif isinstance(node, ast.Call):
+            func_name = terminal_name(node.func)
+            if func_name in ("get", "pop", "setdefault") and node.args:
+                value = _literal(node.args[0])
+                if value is not None:
+                    refs.add(value)
+            for keyword in node.keywords:
+                if keyword.arg is not None and func_name not in (
+                        "ValueError", "TypeError", "KeyError"):
+                    refs.add(keyword.arg)
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is None:
+                    continue
+                value = _literal(key)
+                if value is not None:
+                    refs.add(value)
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                names = {terminal_name(op) for op in operands}
+                if "name" in names:  # ``f.name == "params"`` style
+                    for op in operands:
+                        value = _literal(op)
+                        if value is not None:
+                            refs.add(value)
+    return refs
+
+
+class Ser001(ProjectRule):
+    """SER001: serialization completeness of config dataclasses.
+
+    :data:`SERIALIZED_CLASSES` cross the worker-process boundary as
+    plain dicts (``harness/serialize.py``, checkpoints).  A dataclass
+    field its ``to_dict``/``from_dict`` pair does not handle is config
+    that silently vanishes on the ProcessPoolRunner path — runs *look*
+    fine but ignore the setting, breaking serial/parallel parity.
+
+    The rule classifies each handler: one that enumerates
+    ``dataclasses.fields(...)`` / ``asdict(...)`` is *generic* (new
+    fields are covered automatically) and only its explicitly named
+    special cases are checked for staleness — a string field reference
+    that matches no current field means a rename left a dead special
+    case behind.  A non-generic handler must mention every field
+    explicitly; missing ones are reported.
+    """
+
+    rule_id = "SER001"
+
+    def _check_handler(self, info: ModuleInfo, cls: ClassInfo,
+                       method_name: str,
+                       findings: List[Finding]) -> None:
+        method = cls.methods.get(method_name)
+        if method is None:
+            return
+        declared = set(cls.fields)
+        refs = _field_literal_refs(method)
+        if _method_is_generic(method):
+            for stale in sorted(refs - declared):
+                findings.append(Finding(
+                    info.path, method.lineno, method.col_offset,
+                    self.rule_id,
+                    f"{cls.name}.{method_name} special-cases field "
+                    f"{stale!r} which is not a field of {cls.name} "
+                    "(stale after a rename?)"))
+        else:
+            missing = sorted(declared - refs)
+            if missing:
+                findings.append(Finding(
+                    info.path, method.lineno, method.col_offset,
+                    self.rule_id,
+                    f"{cls.name}.{method_name} does not handle field(s) "
+                    f"{', '.join(missing)}; enumerate dataclasses.fields() "
+                    "or handle every field explicitly"))
+
+    def check_project(self, model: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for class_name in SERIALIZED_CLASSES:
+            for info, cls in model.find_classes(class_name):
+                if not cls.is_dataclass:
+                    continue
+                self._check_handler(info, cls, "to_dict", findings)
+                self._check_handler(info, cls, "from_dict", findings)
+        return findings

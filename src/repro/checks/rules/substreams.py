@@ -1,0 +1,124 @@
+"""RNG-substream discipline (SUB001)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from repro.checks.rules.base import (
+    FaultScopeRule,
+    RuleContext,
+    attr_call,
+    terminal_name,
+)
+
+#: The one module allowed to construct ``random.Random`` in sim code:
+#: the substream factory itself.
+_FACTORY_MODULE = "repro.des.rng"
+
+
+def _stream_key_prefix(arg: ast.expr) -> Optional[str]:
+    """The static prefix of a stream-key expression, or None if dynamic.
+
+    A plain string literal yields itself; an f-string whose first piece
+    is a literal yields that leading literal (``f"mac:{nid}"`` ->
+    ``"mac:"``).  Anything else — a bare variable, concatenation, a
+    wholly dynamic f-string — has no static prefix.
+    """
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr) and arg.values:
+        first = arg.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+class Sub001(FaultScopeRule):
+    """SUB001: RNG-substream discipline in simulation code.
+
+    Every stochastic component draws from its own named substream of
+    :class:`repro.des.rng.RandomStreams`, so that one component's
+    randomness consumption never perturbs another's.  Three things break
+    that contract and are flagged inside simulation modules:
+
+    * constructing ``random.Random(...)`` / ``random.SystemRandom(...)``
+      directly (only ``repro.des.rng`` — the factory — may), including
+      through a ``from random import Random`` alias;
+    * calling ``streams.stream(key)`` with a *dynamic* key (a variable,
+      concatenation, or f-string without a literal prefix): keys must be
+      statically module-bound so the substream map stays auditable;
+    * inside a ``FaultModel`` subclass, calling ``.stream(...)`` with a
+      key that does not start with ``"faults:"`` — fault models may only
+      draw from their own declared ``faults:<name>`` substream
+      (docs/FAULTS.md).
+    """
+
+    rule_id = "SUB001"
+    sim_only = True
+    _RNG_CLASSES = frozenset({"Random", "SystemRandom"})
+
+    def __init__(self, context: Optional[RuleContext] = None) -> None:
+        super().__init__(context)
+        self._rng_aliases: Set[str] = set()
+
+    def _in_factory_module(self) -> bool:
+        ctx = self.context
+        if ctx.module == _FACTORY_MODULE:
+            return True
+        return ctx.path.replace("\\", "/").endswith("des/rng.py")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in self._RNG_CLASSES:
+                    self._rng_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _check_rng_construction(self, node: ast.Call) -> None:
+        if self._in_factory_module():
+            return
+        target = attr_call(node)
+        constructed = (target is not None and target[0] == "random"
+                       and target[1] in self._RNG_CLASSES)
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in self._rng_aliases):
+            constructed = True
+        if constructed:
+            self.report(
+                node,
+                "raw random.Random(...) construction in simulation code; "
+                "take a named substream from RandomStreams.stream(...) "
+                "instead")
+
+    def _check_stream_key(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "stream"):
+            return
+        # Only calls on something stream-factory-shaped: a receiver whose
+        # terminal name mentions "streams" (self.streams, sim.streams, a
+        # local named streams).  Keeps unrelated .stream() APIs unflagged.
+        receiver = terminal_name(func.value)
+        if receiver is None or "streams" not in receiver.lower():
+            return
+        if not node.args:
+            return
+        prefix = _stream_key_prefix(node.args[0])
+        if prefix is None:
+            self.report(
+                node,
+                "dynamic RNG substream key; use a string literal or an "
+                "f-string with a literal 'name:' prefix so the substream "
+                "map stays auditable")
+            return
+        if self.in_fault_model() and not prefix.startswith("faults:"):
+            self.report(
+                node,
+                f"fault model draws from substream {prefix!r}; fault "
+                "models may only use their own 'faults:<name>' substream "
+                "(docs/FAULTS.md)")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng_construction(node)
+        self._check_stream_key(node)
+        self.generic_visit(node)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 
-from repro.analysis.collision import min_contention_window
+from repro.analysis.collision import min_contention_window  # lint: disable=ARCH001 (pure-math leaf, docs/CHECKS.md)
 from repro.core.params import ProtocolParameters
 
 

@@ -22,7 +22,7 @@ import random
 from functools import lru_cache
 from typing import Sequence, Tuple
 
-from repro.analysis.collision import min_tau_max_fast, sigma_slots
+from repro.analysis.collision import min_tau_max_fast, sigma_slots  # lint: disable=ARCH001 (pure-math leaf, docs/CHECKS.md)
 from repro.core.params import ProtocolParameters
 
 #: xi values are rounded to this many decimals for the memoization key;

@@ -161,13 +161,27 @@ def _build_parser() -> argparse.ArgumentParser:
                                "every run (workers inherit the flag)")
 
     lint_p = sub.add_parser(
-        "lint", help="run the determinism / float-safety lint "
+        "lint", help="run the project-aware static-analysis engine "
                      "(see docs/CHECKS.md)")
     lint_p.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print every rule's documentation and exit")
+    lint_p.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="format",
+                        help="findings output format (default: text)")
+    lint_p.add_argument("--output", metavar="PATH", default=None,
+                        help="write findings to PATH instead of stdout")
+    lint_p.add_argument("--baseline", metavar="FILE", default=None,
+                        help="subtract the accepted findings in FILE; "
+                             "exit 1 only on findings not in it")
+    lint_p.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="record the current findings as the new "
+                             "baseline FILE and exit 0")
+    lint_p.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (sorted() wraps, "
+                             "telemetry guards) and re-lint until stable")
     return parser
 
 
@@ -179,16 +193,52 @@ def _cmd_list() -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.checks.lint import describe_rules, lint_paths
+    from repro.checks.baseline import Baseline
+    from repro.checks.engine import apply_fixes, describe_rules, lint_paths
+    from repro.checks.output import (
+        format_json,
+        format_sarif,
+        format_text,
+        write_output,
+    )
 
     if args.list_rules:
         print(describe_rules())
         return 0
     findings = lint_paths(args.paths)
-    for finding in findings:
-        print(finding.format())
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
+    if args.fix:
+        # One pass of fixes can unlock further findings (and fixes), so
+        # loop lint -> fix until a pass applies nothing (bounded: each
+        # pass must strictly shrink the fixable set).
+        for _ in range(5):
+            counts = apply_fixes(findings)
+            if not counts:
+                break
+            for path, applied in sorted(counts.items()):
+                print(f"fixed {applied} finding(s) in {path}",
+                      file=sys.stderr)
+            findings = lint_paths(args.paths)
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(f"baseline with {len(findings)} finding(s) written to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+    reported = findings
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+        reported = baseline.filter(findings)
+        absorbed = len(findings) - len(reported)
+        if absorbed:
+            print(f"({absorbed} baselined finding(s) suppressed)",
+                  file=sys.stderr)
+    if args.format == "json":
+        write_output(format_json(reported), args.output)
+    elif args.format == "sarif":
+        write_output(format_sarif(reported), args.output)
+    elif reported or args.output:
+        write_output(format_text(reported), args.output)
+    if reported:
+        print(f"{len(reported)} finding(s)", file=sys.stderr)
         return 1
     return 0
 

@@ -74,8 +74,11 @@ class TestDet002:
     def test_individually_enrolled_modules(self):
         # harness/faults.py carries the campaign determinism guarantee
         # and is enrolled via SIM_MODULES despite living outside the
-        # simulation packages.
+        # simulation packages; serialize.py and runner.py carry the
+        # serial-vs-parallel byte-identical guarantee.
         assert is_sim_module("src/repro/harness/faults.py")
+        assert is_sim_module("src/repro/harness/serialize.py")
+        assert is_sim_module("src/repro/harness/runner.py")
         assert not is_sim_module("src/repro/harness/experiment.py")
 
 
@@ -152,6 +155,60 @@ class TestPragma:
     def test_disable_all(self):
         src = "x = random.random()  # lint: disable=all\n"
         assert rules_of(src) == []
+
+    def test_multiple_ids_in_one_pragma(self):
+        src = ("import time\n"
+               "t = time.time() or random.random()"
+               "  # lint: disable=DET001, DET002\n")
+        assert rules_of(src, sim_module=True) == []
+
+    def test_trailing_justification_not_swallowed(self):
+        # The id list must stop at the first non-id token, so the
+        # justification text neither breaks parsing nor reads as an id.
+        src = ("import time\n"
+               "t = time.time()  # lint: disable=DET002 (wall metric)\n")
+        assert rules_of(src, sim_module=True) == []
+
+    def test_two_pragmas_in_one_comment(self):
+        src = ("import time\n"
+               "t = time.time() or random.random()"
+               "  # lint: disable=DET001 ok; lint: disable=DET002\n")
+        assert rules_of(src, sim_module=True) == []
+
+    def test_unknown_rule_id_is_a_finding(self):
+        src = "x = 1  # lint: disable=DET0003\n"
+        findings = lint_source(src, sim_module=True)
+        assert [f.rule for f in findings] == ["PRG001"]
+        assert "DET0003" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_typo_neither_suppresses_nor_passes_silently(self):
+        # The misspelled id suppresses nothing (DET002 still fires) and
+        # is itself reported.
+        src = "import time\nt = time.time()  # lint: disable=DET0002\n"
+        assert sorted(rules_of(src, sim_module=True)) == ["DET002", "PRG001"]
+
+    def test_valid_and_bogus_ids_mixed(self):
+        src = ("import time\n"
+               "t = time.time()  # lint: disable=DET002,BOGUS\n")
+        assert rules_of(src, sim_module=True) == ["PRG001"]
+
+    def test_prg001_suppressible_itself(self):
+        src = "x = 1  # lint: disable=PRG001, BOGUS\n"
+        assert rules_of(src) == []
+
+    def test_pragma_text_in_docstring_ignored(self):
+        # Documentation *describing* the pragma syntax must not parse
+        # as a pragma (tokenize-based comment extraction).
+        src = ('"""Use ``# lint: disable=NOSUCHRULE`` to suppress."""\n'
+               "x = 1\n")
+        assert rules_of(src) == []
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        src = ("# lint: disable=DET002\n"
+               "import time\n"
+               "t = time.time()\n")
+        assert rules_of(src, sim_module=True) == ["DET002"]
 
 
 class TestEngine:

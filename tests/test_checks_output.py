@@ -1,0 +1,158 @@
+"""Tests for lint output formats, baselines, and the extended CLI."""
+
+import json
+
+import pytest
+
+from repro.checks.baseline import Baseline
+from repro.checks.output import (
+    SARIF_VERSION,
+    format_json,
+    format_text,
+    to_sarif,
+    validate_sarif,
+)
+from repro.checks.rules.base import Finding
+from repro.harness.cli import main as cli_main
+
+FINDINGS = [
+    Finding("src/a.py", 3, 4, "DET001", "call to module-level random"),
+    Finding("src/b.py", 1, 0, "OBS001", "unguarded emit"),
+]
+
+
+class TestFormats:
+    def test_text_is_clickable_lines(self):
+        text = format_text(FINDINGS)
+        assert text.splitlines() == [
+            "src/a.py:3:4: DET001 call to module-level random",
+            "src/b.py:1:0: OBS001 unguarded emit",
+        ]
+
+    def test_json_shape(self):
+        payload = json.loads(format_json(FINDINGS))
+        assert payload[0] == {
+            "path": "src/a.py", "line": 3, "col": 4, "rule": "DET001",
+            "message": "call to module-level random", "fixable": False,
+        }
+
+
+class TestSarif:
+    def test_emitted_log_validates(self):
+        doc = to_sarif(FINDINGS)
+        validate_sarif(doc)  # must not raise
+        assert doc["version"] == SARIF_VERSION
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["DET001", "OBS001"]
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 3, "startColumn": 5}  # 1-based
+
+    def test_driver_declares_every_rule(self):
+        from repro.checks.rules import RULES
+
+        doc = to_sarif([])
+        declared = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert declared == {r.rule_id for r in RULES}
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("version"),
+        lambda d: d.__setitem__("version", "2.0.0"),
+        lambda d: d.__setitem__("runs", []),
+        lambda d: d["runs"][0]["tool"]["driver"].pop("name"),
+        lambda d: d["runs"][0]["results"][0].pop("message"),
+        lambda d: d["runs"][0]["results"][0].__setitem__("level", "fatal"),
+        lambda d: d["runs"][0]["results"][0].__setitem__("locations", []),
+        lambda d: d["runs"][0]["results"][0].__setitem__("ruleId", "NOPE"),
+        lambda d: (d["runs"][0]["results"][0]["locations"][0]
+                   ["physicalLocation"]["region"]
+                   .__setitem__("startLine", 0)),
+    ])
+    def test_broken_logs_rejected(self, mutate):
+        doc = to_sarif(FINDINGS)
+        mutate(doc)
+        with pytest.raises(ValueError, match="invalid SARIF"):
+            validate_sarif(doc)
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+        assert baseline.filter(FINDINGS) == FINDINGS
+
+    def test_roundtrip_absorbs_recorded_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(FINDINGS).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        assert loaded.filter(FINDINGS) == []
+
+    def test_line_shift_does_not_invalidate(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(FINDINGS).save(path)
+        shifted = [Finding("src/a.py", 90, 4, "DET001",
+                           "call to module-level random")]
+        assert Baseline.load(path).filter(shifted) == []
+
+    def test_extra_occurrence_is_new(self):
+        baseline = Baseline.from_findings(FINDINGS[:1])
+        doubled = [FINDINGS[0], FINDINGS[0], FINDINGS[1]]
+        new = baseline.filter(doubled)
+        assert new == [FINDINGS[0], FINDINGS[1]]
+
+    def test_different_message_is_new(self):
+        baseline = Baseline.from_findings(FINDINGS)
+        changed = [Finding("src/a.py", 3, 4, "DET001", "another message")]
+        assert baseline.filter(changed) == changed
+
+
+class TestCli:
+    def make_bad_tree(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nrandom.seed(1)\n")
+        return bad
+
+    def test_json_format(self, tmp_path, capsys):
+        self.make_bad_tree(tmp_path)
+        assert cli_main(["lint", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "DET001"
+
+    def test_sarif_output_file_validates(self, tmp_path, capsys):
+        self.make_bad_tree(tmp_path)
+        out = tmp_path / "lint.sarif"
+        assert cli_main(["lint", str(tmp_path), "--format", "sarif",
+                         "--output", str(out)]) == 1
+        validate_sarif(json.loads(out.read_text()))
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        self.make_bad_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(["lint", str(tmp_path),
+                         "--write-baseline", str(baseline)]) == 0
+        # Baselined findings no longer fail the run ...
+        assert cli_main(["lint", str(tmp_path),
+                         "--baseline", str(baseline)]) == 0
+        # ... but a new finding still does.
+        (tmp_path / "worse.py").write_text("from random import choice\n")
+        capsys.readouterr()
+        assert cli_main(["lint", str(tmp_path),
+                         "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "worse.py" in out and "bad.py" not in out
+
+    def test_fix_loop_repairs_and_relints_clean(self, tmp_path, capsys):
+        fixable = tmp_path / "network"
+        fixable.mkdir()
+        (fixable / "__init__.py").write_text("")
+        (fixable / "mod.py").write_text(
+            "def g(items, bus):\n"
+            "    for x in set(items):\n"
+            "        bus.emit('x', {})\n")
+        assert cli_main(["lint", str(tmp_path), "--fix"]) == 0
+        fixed = (fixable / "mod.py").read_text()
+        assert "sorted(set(items))" in fixed
+        assert "if bus is not None:" in fixed
+        # Idempotence: a second --fix run changes nothing.
+        assert cli_main(["lint", str(tmp_path), "--fix"]) == 0
+        assert (fixable / "mod.py").read_text() == fixed

@@ -1,0 +1,442 @@
+"""Fixture tests for the project-aware rule families (PR 7).
+
+Every new rule gets a known-bad fixture proving it fires and a
+known-good fixture proving it stays quiet; the fixable rules also get
+an autofix round trip (fix applies, re-lint is clean, second fix pass
+is a no-op).
+"""
+
+import textwrap
+
+from repro.checks.engine import apply_fix_to_source, lint_paths, lint_source
+
+
+def rules_of(source, sim_module=False):
+    return [f.rule for f in lint_source(textwrap.dedent(source),
+                                        sim_module=sim_module)]
+
+
+def tree_rules(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source).lstrip())
+    return lint_paths([str(tmp_path)])
+
+
+class TestSub001:
+    def test_raw_random_in_sim_code_fires(self):
+        assert rules_of("import random\nr = random.Random(42)\n",
+                        sim_module=True) == ["SUB001"]
+
+    def test_imported_random_alias_fires(self):
+        src = """
+            from random import Random
+            r = Random(7)
+        """
+        assert "SUB001" in rules_of(src, sim_module=True)
+
+    def test_outside_sim_code_clean(self):
+        assert rules_of("import random\nr = random.Random(42)\n",
+                        sim_module=False) == []
+
+    def test_dynamic_stream_key_in_fault_model_fires(self):
+        src = """
+            class Custom(FaultModel):
+                def arm(self, sim):
+                    rng = sim.streams.stream(self.key)
+        """
+        assert rules_of(src, sim_module=True) == ["SUB001"]
+
+    def test_wrong_prefix_in_fault_model_fires(self):
+        src = """
+            class Custom(FaultModel):
+                def arm(self, sim):
+                    rng = sim.streams.stream("mobility:zones")
+        """
+        assert rules_of(src, sim_module=True) == ["SUB001"]
+
+    def test_declared_fault_substream_clean(self):
+        src = '''
+            class Custom(FaultModel):
+                def arm(self, sim):
+                    rng = sim.streams.stream(f"faults:{self.name}")
+        '''
+        assert rules_of(src, sim_module=True) == []
+
+    def test_module_bound_key_outside_fault_model_clean(self):
+        src = """
+            def setup(sim):
+                rng = sim.streams.stream("mobility:zones")
+        """
+        assert rules_of(src, sim_module=True) == []
+
+    def test_transitive_fault_subclass_via_model(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "network/__init__.py": "",
+            "network/base.py": """
+                class FaultModel:
+                    pass
+
+                class Death(FaultModel):
+                    pass
+            """,
+            "network/custom.py": """
+                from network.base import Death
+
+                class SlowDeath(Death):
+                    def arm(self, sim):
+                        rng = sim.streams.stream("wrong:" + self.name)
+            """,
+        })
+        assert [f.rule for f in findings] == ["SUB001"]
+        assert findings[0].path.endswith("custom.py")
+
+
+class TestSch001:
+    def test_missing_priority_fires(self):
+        src = """
+            class Custom(FaultModel):
+                def arm(self, sim):
+                    sim.schedule(5.0, self._fire)
+        """
+        assert rules_of(src, sim_module=True) == ["SCH001"]
+
+    def test_wrong_priority_fires(self):
+        src = """
+            class Custom(FaultModel):
+                def arm(self, sim):
+                    sim.schedule(5.0, self._fire, priority=0)
+        """
+        assert rules_of(src, sim_module=True) == ["SCH001"]
+
+    def test_fault_priority_clean(self):
+        src = """
+            class Custom(FaultModel):
+                def arm(self, sim):
+                    sim.schedule(5.0, self._fire, priority=FAULT_PRIORITY)
+        """
+        assert rules_of(src, sim_module=True) == []
+
+    def test_scheduling_outside_fault_model_clean(self):
+        src = """
+            def pump(sim):
+                sim.schedule(5.0, tick)
+        """
+        assert rules_of(src, sim_module=True) == []
+
+
+class TestObs001:
+    def test_unguarded_emit_fires(self):
+        src = """
+            def f(self):
+                self._bus.emit("x", {})
+        """
+        assert rules_of(src) == ["OBS001"]
+
+    def test_wrapped_guard_clean(self):
+        src = """
+            def f(self):
+                bus = self._bus
+                if bus is not None:
+                    bus.emit("x", {})
+        """
+        assert rules_of(src) == []
+
+    def test_early_return_guard_clean(self):
+        src = """
+            def f(self, bus):
+                if bus is None:
+                    return
+                bus.emit("x", {})
+        """
+        assert rules_of(src) == []
+
+    def test_or_disjunct_early_return_clean(self):
+        src = """
+            def f(self, bus, phase):
+                if bus is None or phase is None:
+                    return
+                bus.emit("x", {})
+        """
+        assert rules_of(src) == []
+
+    def test_conjunction_guard_clean(self):
+        src = """
+            def f(self):
+                if self._bus is not None and self._sim is not None:
+                    self._bus.emit("x", {})
+        """
+        assert rules_of(src) == []
+
+    def test_guard_on_other_reference_fires(self):
+        src = """
+            def f(self, bus):
+                if self._bus is not None:
+                    bus.emit("x", {})
+        """
+        assert rules_of(src) == ["OBS001"]
+
+    def test_reassignment_invalidates_guard(self):
+        src = """
+            def f(self):
+                bus = self._bus
+                if bus is None:
+                    return
+                bus = self.other_bus()
+                bus.emit("x", {})
+        """
+        assert rules_of(src) == ["OBS001"]
+
+    def test_fresh_telemetry_bus_is_guarded(self):
+        src = """
+            def f(self):
+                bus = TelemetryBus()
+                bus.emit("x", {})
+        """
+        assert rules_of(src) == []
+
+    def test_nested_function_starts_unguarded(self):
+        src = """
+            def f(bus):
+                if bus is None:
+                    return
+                def later():
+                    bus.emit("x", {})
+                return later
+        """
+        assert rules_of(src) == ["OBS001"]
+
+    def test_fix_roundtrip(self):
+        src = ("def f(self):\n"
+               "    self._bus.emit('x', {'a': 1})\n")
+        findings = lint_source(src)
+        assert [f.rule for f in findings] == ["OBS001"]
+        fixed, applied = apply_fix_to_source(
+            src, [f.fix for f in findings if f.fix])
+        assert applied == 1
+        assert "if self._bus is not None:" in fixed
+        assert lint_source(fixed) == []  # clean, and thus no more fixes
+
+
+class TestDet003Fix:
+    def test_sorted_wrap_roundtrip(self):
+        src = ("def g(items):\n"
+               "    for x in set(items):\n"
+               "        handle(x)\n")
+        findings = lint_source(src, sim_module=True)
+        assert [f.rule for f in findings] == ["DET003"]
+        fixed, applied = apply_fix_to_source(
+            src, [f.fix for f in findings if f.fix])
+        assert applied == 1
+        assert "for x in sorted(set(items)):" in fixed
+        assert lint_source(fixed, sim_module=True) == []
+
+
+class TestApi001:
+    def test_unbound_export_fires(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                __all__ = ["present", "ghost"]
+
+                def present():
+                    pass
+            """,
+        })
+        assert [f.rule for f in findings] == ["API001"]
+        assert "ghost" in findings[0].message
+
+    def test_broken_reexport_chain_fires(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/impl.py": "x = 1\n",
+            "pkg/mod.py": """
+                from pkg.impl import missing
+
+                __all__ = ["missing"]
+            """,
+        })
+        assert [f.rule for f in findings] == ["API001"]
+
+    def test_resolving_surface_clean(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/impl.py": "def real():\n    pass\n",
+            "pkg/mod.py": """
+                from pkg.impl import real
+
+                __all__ = ["real"]
+            """,
+        })
+        assert findings == []
+
+
+class TestApi002:
+    FACADE_TREE = {
+        "src/pkg/__init__.py": "",
+        "src/pkg/api.py": """
+            def exported():
+                pass
+
+            def hidden():
+                pass
+
+            __all__ = ["exported"]
+        """,
+        "examples/demo.py": """
+            from pkg.api import exported, hidden
+        """,
+    }
+
+    def test_example_importing_unexported_name_fires(self, tmp_path):
+        findings = tree_rules(tmp_path, dict(self.FACADE_TREE))
+        assert [f.rule for f in findings] == ["API002"]
+        assert "hidden" in findings[0].message
+        assert findings[0].path.endswith("demo.py")
+
+    def test_covered_example_clean(self, tmp_path):
+        tree = dict(self.FACADE_TREE)
+        tree["examples/demo.py"] = "from pkg.api import exported\n"
+        assert tree_rules(tmp_path, tree) == []
+
+
+class TestSer001:
+    def test_generic_handler_with_stale_special_case_fires(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/config.py": """
+                from dataclasses import dataclass, fields
+
+                @dataclass(frozen=True)
+                class SimulationConfig:
+                    seed: int = 1
+
+                    def to_dict(self):
+                        out = {}
+                        for f in fields(self):
+                            if f.name == "params":
+                                continue
+                            out[f.name] = getattr(self, f.name)
+                        return out
+            """,
+        })
+        assert [f.rule for f in findings] == ["SER001"]
+        assert "params" in findings[0].message
+
+    def test_non_generic_handler_missing_field_fires(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/config.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class FaultSpec:
+                    kind: str = "none"
+                    intensity: float = 0.0
+
+                    def to_dict(self):
+                        return {"kind": self.kind}
+            """,
+        })
+        assert [f.rule for f in findings] == ["SER001"]
+        assert "intensity" in findings[0].message
+
+    def test_generic_handler_clean(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/config.py": """
+                from dataclasses import dataclass, fields
+
+                @dataclass(frozen=True)
+                class SimulationConfig:
+                    seed: int = 1
+                    duration_s: float = 0.0
+
+                    def to_dict(self):
+                        return {f.name: getattr(self, f.name)
+                                for f in fields(self)}
+            """,
+        })
+        assert findings == []
+
+    def test_explicit_complete_handler_clean(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/config.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class FaultSpec:
+                    kind: str = "none"
+                    intensity: float = 0.0
+
+                    def to_dict(self):
+                        return {"kind": self.kind,
+                                "intensity": self.intensity}
+            """,
+        })
+        assert findings == []
+
+    def test_other_dataclasses_not_inventoried(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/other.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Unrelated:
+                    a: int = 0
+                    b: int = 0
+
+                    def to_dict(self):
+                        return {"a": self.a}
+            """,
+        })
+        assert findings == []
+
+
+class TestArch001:
+    def test_core_importing_harness_fires(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/core/__init__.py": "",
+            "repro/core/clock.py": """
+                from repro.harness.runner import SerialRunner
+            """,
+            "repro/harness/__init__.py": "",
+            "repro/harness/runner.py": "class SerialRunner:\n    pass\n",
+        })
+        assert [f.rule for f in findings] == ["ARCH001"]
+        assert findings[0].path.endswith("clock.py")
+        assert findings[0].line == 1
+
+    def test_obs_importing_protocol_fires(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/obs/__init__.py": "",
+            "repro/obs/probe.py": "from repro.core.node import Node\n",
+            "repro/core/__init__.py": "",
+            "repro/core/node.py": "class Node:\n    pass\n",
+        })
+        assert [f.rule for f in findings] == ["ARCH001"]
+
+    def test_harness_importing_core_clean(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/core/__init__.py": "",
+            "repro/core/node.py": "class Node:\n    pass\n",
+            "repro/harness/__init__.py": "",
+            "repro/harness/exp.py": "from repro.core.node import Node\n",
+        })
+        assert findings == []
+
+    def test_pragma_justifies_historical_exception(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/analysis/__init__.py": "def f():\n    pass\n",
+            "repro/core/__init__.py": "",
+            "repro/core/m.py": ("from repro.analysis import f"
+                                "  # lint: disable=ARCH001 (pure math)\n"),
+        })
+        assert findings == []
