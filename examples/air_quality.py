@@ -20,7 +20,7 @@ Usage::
 import sys
 from collections import Counter, defaultdict
 
-from repro.api import Simulation, SimulationConfig
+from repro.api.sim import Simulation, SimulationConfig
 
 
 def zone_of(sim, origin: int):

@@ -19,20 +19,24 @@ Usage::
 import random
 import sys
 
-from repro.api import (
-    Area,
+from repro.api.analysis import (
+    direct_expected_delay,
+    epidemic_expected_delay,
+    pair_contact_rate,
+)
+from repro.api.contact import (
     ContactSimConfig,
     ContactTracer,
+    format_policy_comparison,
+    policy_comparison,
+    run_contact_simulation,
+)
+from repro.api.sim import (
+    Area,
     EventScheduler,
     MobilityManager,
     StationaryMobility,
     ZoneGridMobility,
-    direct_expected_delay,
-    epidemic_expected_delay,
-    format_policy_comparison,
-    pair_contact_rate,
-    policy_comparison,
-    run_contact_simulation,
 )
 
 

@@ -20,7 +20,7 @@ Usage::
 
 import sys
 
-from repro.api import BurstTraffic, Simulation, SimulationConfig
+from repro.api.sim import BurstTraffic, Simulation, SimulationConfig
 
 
 def run(protocol: str, duration: float):

@@ -17,16 +17,15 @@ Usage::
 
 import sys
 
-from repro.api import (
+from repro.api.obs import (
     FrameKind,
-    Simulation,
-    SimulationConfig,
     TimeSeriesProbe,
     TraceRecorder,
     channel_usage,
     message_journey,
     node_activity,
 )
+from repro.api.sim import Simulation, SimulationConfig
 
 
 def main() -> None:

@@ -15,8 +15,7 @@ Usage::
     python examples/optimization_tuning.py
 """
 
-from repro.api import (
-    BERKELEY_MOTE,
+from repro.api.analysis import (
     cts_collision_probability,
     min_contention_window,
     min_sleep_period,
@@ -24,6 +23,7 @@ from repro.api import (
     rts_collision_probability,
     sigma_slots,
 )
+from repro.api.sim import BERKELEY_MOTE
 
 
 def sleep_bounds() -> None:

@@ -12,7 +12,7 @@ Usage::
 
 import sys
 
-from repro.api import FIG2_PROTOCOLS, fig2, format_fig2_report
+from repro.api.batch import FIG2_PROTOCOLS, fig2, format_fig2_report
 
 
 def main() -> None:

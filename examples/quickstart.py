@@ -13,7 +13,7 @@ Usage::
 
 import sys
 
-from repro.api import SimulationConfig, run_simulation
+from repro.api.sim import SimulationConfig, run_simulation
 
 
 def main() -> None:

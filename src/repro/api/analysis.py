@@ -1,0 +1,37 @@
+"""``repro.api.analysis`` — closed-form models from the paper (Sec. 4).
+
+The sleep/contention optimization formulas (``min_*``), the RTS/CTS
+collision probabilities they are derived from, and the DTN expected-delay
+models used to sanity-check the contact-level simulator.
+
+Every name here is also importable from flat ``repro.api`` (the
+compatibility surface); see ``docs/API.md`` for the deprecation policy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    cts_collision_probability,
+    min_contention_window,
+    min_sleep_period,
+    min_tau_max,
+    rts_collision_probability,
+    sigma_slots,
+)
+from repro.analysis.dtn_models import (
+    direct_expected_delay,
+    epidemic_expected_delay,
+    pair_contact_rate,
+)
+
+__all__ = [
+    "sigma_slots",
+    "rts_collision_probability",
+    "cts_collision_probability",
+    "min_contention_window",
+    "min_sleep_period",
+    "min_tau_max",
+    "direct_expected_delay",
+    "epidemic_expected_delay",
+    "pair_contact_rate",
+]

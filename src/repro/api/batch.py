@@ -1,0 +1,37 @@
+"""``repro.api.batch`` — replicated runs, sweeps, and figure harnesses.
+
+Batch execution over the seeded simulation: :func:`run_replicated` /
+:func:`sweep` for confidence intervals and parameter studies, the
+pluggable :class:`Runner` family (serial, process-pool, tracing), the
+:class:`Checkpoint` resume format, and the paper-figure drivers.
+
+Every name here is also importable from flat ``repro.api`` (the
+compatibility surface); see ``docs/API.md`` for the deprecation policy.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import run_replicated, sweep
+from repro.harness.figures import FIG2_PROTOCOLS, fig2, format_fig2_report
+from repro.harness.runner import (
+    Job,
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+    TracingRunner,
+)
+from repro.harness.serialize import Checkpoint
+
+__all__ = [
+    "run_replicated",
+    "sweep",
+    "Job",
+    "Runner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "TracingRunner",
+    "Checkpoint",
+    "FIG2_PROTOCOLS",
+    "fig2",
+    "format_fig2_report",
+]

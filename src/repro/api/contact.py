@@ -1,0 +1,28 @@
+"""``repro.api.contact`` — contact-level simulation and policy studies.
+
+The abstracted DTN layer: :class:`ContactSimConfig` /
+:func:`run_contact_simulation` replay message exchange over contact
+traces (recorded by :class:`ContactTracer`), and
+:func:`policy_comparison` benchmarks forwarding policies on the paper
+topology.  Mobility building blocks live in :mod:`repro.api.sim`.
+
+Every name here is also importable from flat ``repro.api`` (the
+compatibility surface); see ``docs/API.md`` for the deprecation policy.
+"""
+
+from __future__ import annotations
+
+from repro.contact import ContactSimConfig, ContactTracer
+from repro.contact.simulator import run_contact_simulation
+from repro.harness.contact_experiments import (
+    format_policy_comparison,
+    policy_comparison,
+)
+
+__all__ = [
+    "ContactSimConfig",
+    "ContactTracer",
+    "run_contact_simulation",
+    "policy_comparison",
+    "format_policy_comparison",
+]

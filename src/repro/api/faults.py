@@ -1,0 +1,45 @@
+"""``repro.api.faults`` — fault injection and degradation campaigns.
+
+The fault model family (:class:`PermanentDeaths`,
+:class:`TransientOutages`, :class:`RadioImpairment`,
+:class:`SinkOutage`), the :class:`FaultSpec` config entry that arms them
+on a run, and :func:`run_fault_campaign` severity sweeps.  See
+``docs/FAULTS.md``.
+
+Every name here is also importable from flat ``repro.api`` (the
+compatibility surface); see ``docs/API.md`` for the deprecation policy.
+"""
+
+from __future__ import annotations
+
+from repro.harness.faults import (
+    DegradationCurve,
+    FaultCampaignResult,
+    format_fault_campaign,
+    run_fault_campaign,
+)
+from repro.network.faults import (
+    FaultInjector,
+    FaultModel,
+    FaultPlan,
+    FaultSpec,
+    PermanentDeaths,
+    RadioImpairment,
+    SinkOutage,
+    TransientOutages,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultModel",
+    "PermanentDeaths",
+    "TransientOutages",
+    "RadioImpairment",
+    "SinkOutage",
+    "FaultPlan",
+    "FaultInjector",
+    "run_fault_campaign",
+    "format_fault_campaign",
+    "FaultCampaignResult",
+    "DegradationCurve",
+]

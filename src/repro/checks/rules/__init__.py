@@ -21,7 +21,7 @@ from repro.checks.rules.base import (
     RuleContext,
 )
 from repro.checks.rules.determinism import Det001, Det002, Det003
-from repro.checks.rules.facade import Api001, Api002
+from repro.checks.rules.facade import Api001, Api002, Api003
 from repro.checks.rules.floats import Flt001
 from repro.checks.rules.layering import Arch001, LAYER_CONTRACTS
 from repro.checks.rules.mutables import Mut001
@@ -58,7 +58,7 @@ NODE_RULES: Tuple[Type[Rule], ...] = (
 
 #: Whole-project rules, in reporting order.
 PROJECT_RULES: Tuple[Type[ProjectRule], ...] = (
-    Api001, Api002, Ser001, Arch001,
+    Api001, Api002, Api003, Ser001, Arch001,
 )
 
 #: The full registry (``--list-rules``, docs, back-compat ``RULES``).
@@ -74,6 +74,7 @@ RULES_BY_ID: Dict[str, Union[Type[Rule], Type[ProjectRule]]] = {
 __all__ = [
     "Api001",
     "Api002",
+    "Api003",
     "Arch001",
     "Det001",
     "Det002",

@@ -1,13 +1,28 @@
-"""Facade-consistency rules (API001 / API002)."""
+"""Facade-consistency rules (API001 / API002 / API003)."""
 
 from __future__ import annotations
 
 import ast
 import pathlib
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.checks.rules.base import Finding, ProjectRule
-from repro.checks.project import ProjectModel
+from repro.checks.project import ProjectModel, ModuleInfo
+
+
+def _examples_dir(module_path: str) -> Optional[pathlib.Path]:
+    """The repository's ``examples/`` directory, located from a module file.
+
+    Walks the ancestors of ``module_path`` (facade modules sit at
+    varying depths: ``src/repro/api.py`` historically,
+    ``src/repro/api/__init__.py`` and ``src/repro/api/sim.py`` now) and
+    returns the first sibling ``examples`` directory found.
+    """
+    for parent in pathlib.Path(module_path).parents:
+        candidate = parent / "examples"
+        if candidate.is_dir():
+            return candidate
+    return None
 
 
 class Api001(ProjectRule):
@@ -48,46 +63,118 @@ class Api002(ProjectRule):
     """API002: example-facing names must be re-exported by ``repro.api``.
 
     Bundled ``examples/*.py`` import exclusively from ``repro.api``
-    (the PR 3 compatibility contract).  A name an example imports that
-    is missing from the facade's ``__all__`` means the public surface
-    regressed — the example may still run (module attributes resolve
-    past ``__all__``) but the documented surface no longer covers what
-    the examples demonstrate, and ``from repro.api import *`` users
-    lose it.  The rule locates the ``examples/`` directory three levels
-    above ``api.py`` (the repository layout) and checks every
-    ``from repro.api import ...`` against the facade inventory.
+    (the PR 3 compatibility contract), either flat or from a themed
+    sub-facade (``repro.api.sim``, ...).  A name an example imports that
+    is missing from the imported facade module's ``__all__`` means the
+    public surface regressed — the example may still run (module
+    attributes resolve past ``__all__``) but the documented surface no
+    longer covers what the examples demonstrate, and ``import *`` users
+    lose it.  The rule locates the ``examples/`` directory by walking up
+    from each facade module (the facade has been both a flat ``api.py``
+    and an ``api/`` package, so no fixed depth is assumed) and checks
+    every ``from <facade module> import ...`` against that module's
+    inventory.
     """
 
     rule_id = "API002"
 
+    @staticmethod
+    def _facade_modules(model: ProjectModel) -> Dict[str, ModuleInfo]:
+        """Facade package + sub-facades, keyed by dotted module name."""
+        facades: Dict[str, ModuleInfo] = {}
+        roots = [info.name for info in model.modules()
+                 if info.name.endswith(".api")]
+        for info in model.modules():
+            if info.exports is None:
+                continue
+            if info.name.endswith(".api") or any(
+                    info.name.startswith(root + ".") for root in roots):
+                facades[info.name] = info
+        return facades
+
     def check_project(self, model: ProjectModel) -> List[Finding]:
-        api_infos = [info for info in model.modules()
-                     if info.name.endswith(".api") and info.exports is not None]
+        facades = self._facade_modules(model)
         findings: List[Finding] = []
-        for info in api_infos:
-            exports = set(info.exports or ())
-            api_path = pathlib.Path(info.path)
-            if len(api_path.parts) < 3:
+        checked_dirs = set()
+        examples: List[pathlib.Path] = []
+        for info in facades.values():
+            examples_dir = _examples_dir(info.path)
+            if examples_dir is None or examples_dir in checked_dirs:
                 continue
-            examples_dir = api_path.parent.parent.parent / "examples"
-            if not examples_dir.is_dir():
+            checked_dirs.add(examples_dir)
+            examples.extend(sorted(examples_dir.glob("*.py")))
+        for example in examples:
+            try:
+                tree = ast.parse(example.read_text(encoding="utf-8"),
+                                 filename=str(example))
+            except SyntaxError:
                 continue
-            for example in sorted(examples_dir.glob("*.py")):
-                try:
-                    tree = ast.parse(example.read_text(encoding="utf-8"),
-                                     filename=str(example))
-                except SyntaxError:
+            for node in ast.walk(tree):
+                if not (isinstance(node, ast.ImportFrom)
+                        and node.module in facades):
                     continue
-                for node in ast.walk(tree):
-                    if not (isinstance(node, ast.ImportFrom)
-                            and node.module == info.name):
-                        continue
-                    for alias in node.names:
-                        if alias.name != "*" and alias.name not in exports:
-                            findings.append(Finding(
-                                str(example), node.lineno, node.col_offset,
-                                self.rule_id,
-                                f"example imports {alias.name!r} from "
-                                f"{info.name} but it is not in __all__; "
-                                "re-export it on the facade"))
+                exports = set(facades[node.module].exports or ())
+                for alias in node.names:
+                    if alias.name != "*" and alias.name not in exports:
+                        findings.append(Finding(
+                            str(example), node.lineno, node.col_offset,
+                            self.rule_id,
+                            f"example imports {alias.name!r} from "
+                            f"{node.module} but it is not in __all__; "
+                            "re-export it on the facade"))
+        return findings
+
+
+class Api003(ProjectRule):
+    """API003: the flat facade is the exact disjoint union of sub-facades.
+
+    The namespaced facade keeps one invariant that makes both surfaces
+    trustworthy at once: every name in the flat ``repro.api.__all__``
+    originates in exactly one themed sub-facade, and every sub-facade
+    name is re-exported flat.  A name in two sub-facades is an ownership
+    ambiguity (which module's docs describe it?); a flat name missing
+    from every sub-facade has no themed home; a sub-facade name missing
+    flat silently shrinks the compatibility surface for historical
+    imports.  The rule only fires for facades that actually are packages
+    with exporting submodules, so pre-split layouts stay lint-clean.
+    """
+
+    rule_id = "API003"
+
+    def check_project(self, model: ProjectModel) -> List[Finding]:
+        findings: List[Finding] = []
+        for info in model.modules():
+            if not (info.name.endswith(".api") and info.exports is not None
+                    and info.path.endswith("__init__.py")):
+                continue
+            prefix = info.name + "."
+            subs = [sub for sub in model.modules()
+                    if sub.name.startswith(prefix)
+                    and "." not in sub.name[len(prefix):]
+                    and sub.exports is not None]
+            if not subs:
+                continue
+            owners: Dict[str, List[str]] = {}
+            for sub in subs:
+                for name in sub.exports or ():
+                    owners.setdefault(name, []).append(sub.name)
+            for name, homes in sorted(owners.items()):
+                if len(homes) > 1:
+                    findings.append(Finding(
+                        info.path, info.exports_lineno, 0, self.rule_id,
+                        f"{name!r} is exported by more than one "
+                        f"sub-facade ({', '.join(sorted(homes))}); every "
+                        "flat name must originate in exactly one"))
+            flat = set(info.exports or ())
+            for name in sorted(flat - set(owners)):
+                findings.append(Finding(
+                    info.path, info.exports_lineno, 0, self.rule_id,
+                    f"flat __all__ lists {name!r} but no sub-facade "
+                    "exports it; add it to its themed module"))
+            for name in sorted(set(owners) - flat):
+                findings.append(Finding(
+                    info.path, info.exports_lineno, 0, self.rule_id,
+                    f"sub-facade name {name!r} ({owners[name][0]}) is "
+                    "missing from the flat __all__; the compatibility "
+                    "surface must re-export the full union"))
         return findings

@@ -676,7 +676,7 @@ class MacAgent:
     def _send_cts(self, cts: Cts) -> None:
         if self.state is not AgentState.RX_WAIT_SCHEDULE:
             return
-        if self.radio.state.can_receive:
+        if self.radio.can_receive:
             self.stats.cts_sent += 1
             self.radio.transmit(cts)
 
@@ -729,7 +729,7 @@ class MacAgent:
                           + self.params.rx_slack_s, self._rx_transaction_done)
 
     def _send_ack(self, ack: Ack) -> None:
-        if self.radio.state.can_receive:
+        if self.radio.can_receive:
             self.stats.acks_sent += 1
             self.radio.transmit(ack)
 

@@ -28,9 +28,12 @@ class Event:
         args: Tuple[Any, ...] = (),
         priority: int = 0,
     ) -> None:
-        self.time = float(time)
-        self.priority = int(priority)
-        self.seq = int(seq)
+        # No defensive conversions: the scheduler is the only producer
+        # and already guarantees a float time and int priority/seq (this
+        # constructor runs once per scheduled event — it is hot).
+        self.time = time
+        self.priority = priority
+        self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False

@@ -79,11 +79,36 @@ class EnergyMeter:
         self.consumed_mj: float = 0.0
         self.switches: int = 0
         self.lpl_switches: int = 0
-        self.per_state_mj: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
-        self.per_state_s: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
+        # Per-state accumulators are one plain float per state: the
+        # integrate step runs on every radio state change, and a dict
+        # keyed by the enum would pay four Python-level Enum.__hash__
+        # calls per update.  per_state_mj / per_state_s build the
+        # dict views on demand.
+        self._mj_tx = self._mj_rx = self._mj_listen = self._mj_sleep = 0.0
+        self._s_tx = self._s_rx = self._s_listen = self._s_sleep = 0.0
         self._bus: Optional[TelemetryBus] = None
         self._node_id = -1
         self._sleep_started = 0.0
+
+    @property
+    def per_state_mj(self) -> Dict[RadioState, float]:
+        """Energy consumed (mJ) attributed to each radio state."""
+        return {
+            RadioState.TRANSMITTING: self._mj_tx,
+            RadioState.RECEIVING: self._mj_rx,
+            RadioState.LISTENING: self._mj_listen,
+            RadioState.SLEEPING: self._mj_sleep,
+        }
+
+    @property
+    def per_state_s(self) -> Dict[RadioState, float]:
+        """Seconds spent in each radio state."""
+        return {
+            RadioState.TRANSMITTING: self._s_tx,
+            RadioState.RECEIVING: self._s_rx,
+            RadioState.LISTENING: self._s_listen,
+            RadioState.SLEEPING: self._s_sleep,
+        }
 
     def bind_telemetry(self, bus: TelemetryBus, node_id: int) -> None:
         """Emit sleep/wake events for ``node_id`` on ``bus`` from now on."""
@@ -137,7 +162,14 @@ class EnergyMeter:
         if mj < 0:
             raise ValueError("cannot add negative energy")
         self.consumed_mj += mj
-        self.per_state_mj[state] += mj
+        if state is RadioState.SLEEPING:
+            self._mj_sleep += mj
+        elif state is RadioState.LISTENING:
+            self._mj_listen += mj
+        elif state is RadioState.TRANSMITTING:
+            self._mj_tx += mj
+        else:
+            self._mj_rx += mj
 
     def average_power_mw(self, now: float) -> float:
         """Average power draw (mW) from meter start to ``now``."""
@@ -151,7 +183,22 @@ class EnergyMeter:
         dt = now - self._state_since
         if dt < 0:
             raise ValueError(f"time went backwards: {now} < {self._state_since}")
-        energy = self.profile.power_mw(self._state) * dt  # mW * s == mJ
+        state = self._state
+        profile = self.profile
+        if state is RadioState.SLEEPING:
+            energy = profile.sleep_mw * dt  # mW * s == mJ
+            self._mj_sleep += energy
+            self._s_sleep += dt
+        elif state is RadioState.LISTENING:
+            energy = profile.idle_mw * dt
+            self._mj_listen += energy
+            self._s_listen += dt
+        elif state is RadioState.TRANSMITTING:
+            energy = profile.tx_mw * dt
+            self._mj_tx += energy
+            self._s_tx += dt
+        else:
+            energy = profile.rx_mw * dt
+            self._mj_rx += energy
+            self._s_rx += dt
         self.consumed_mj += energy
-        self.per_state_mj[self._state] += energy
-        self.per_state_s[self._state] += dt

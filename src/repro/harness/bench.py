@@ -1,0 +1,163 @@
+"""Scaling benchmark: event throughput as the network grows.
+
+The ROADMAP's kernel-speed direction needs a *repeatable* scaling
+measurement so every optimization PR can prove (or disprove) a speedup.
+This module provides it: :func:`scale_config` builds constant-density
+configurations from a node count (the default paper setup — 100 sensors
+in 150 x 150 m² — fixes the density; the area grows as ``sqrt(n)``),
+:func:`measure_scale` runs one and reports events/sec, and
+:func:`run_scale_suite` sweeps a size ladder into :class:`ScalePoint`
+rows ready for ``BENCH_scale.json``.
+
+``benchmarks/test_bench_scale.py`` drives this module and the CI
+``bench-scale`` job gates on the committed baseline; see the README's
+"Scaling" section.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.network.config import SimulationConfig
+from repro.network.simulation import Simulation
+
+#: Sensor density of the paper's default setup (100 / 150²  m⁻²).
+PAPER_DENSITY = 100.0 / (150.0 * 150.0)
+
+#: Sinks per sensor in the paper's default setup (3 per 100).
+PAPER_SINK_FRACTION = 0.03
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One scaling measurement: a run's size and event throughput."""
+
+    n_sensors: int
+    n_sinks: int
+    area_m: float
+    duration_s: float
+    events_fired: int
+    wall_clock_s: float
+    messages_delivered: int
+
+    @property
+    def events_per_sec(self) -> float:
+        """Scheduler events executed per wall-clock second."""
+        if self.wall_clock_s <= 0:
+            return float("inf")
+        return self.events_fired / self.wall_clock_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data view (one row of ``BENCH_scale.json``)."""
+        return {
+            "n_sensors": self.n_sensors,
+            "n_sinks": self.n_sinks,
+            "area_m": self.area_m,
+            "duration_s": self.duration_s,
+            "events_fired": self.events_fired,
+            "wall_clock_s": self.wall_clock_s,
+            "events_per_sec": self.events_per_sec,
+            "messages_delivered": self.messages_delivered,
+        }
+
+
+def scale_config(n_sensors: int, duration_s: float, *, seed: int = 1,
+                 protocol: str = "opt",
+                 **overrides: object) -> SimulationConfig:
+    """A constant-density configuration scaled to ``n_sensors``.
+
+    Keeps the paper's sensor density and 30 m zone size as the node
+    count grows, so per-node contact rates (and therefore the per-event
+    work mix) stay comparable across sizes.  Any field of
+    :class:`~repro.network.config.SimulationConfig` can be overridden.
+    """
+    if n_sensors < 1:
+        raise ValueError("need at least one sensor")
+    area_m = math.sqrt(n_sensors / PAPER_DENSITY)
+    defaults: Dict[str, object] = dict(
+        protocol=protocol,
+        seed=seed,
+        duration_s=duration_s,
+        n_sensors=n_sensors,
+        n_sinks=max(1, round(n_sensors * PAPER_SINK_FRACTION)),
+        area_m=area_m,
+        zones_per_side=max(1, round(area_m / 30.0)),
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)  # type: ignore[arg-type]
+
+
+def measure_scale(n_sensors: int, duration_s: float, *, seed: int = 1,
+                  protocol: str = "opt", repeats: int = 1,
+                  **overrides: object) -> ScalePoint:
+    """Run one constant-density simulation and measure its throughput.
+
+    With ``repeats > 1`` the seeded run executes several times and the
+    fastest wall clock is kept — the standard noise-robust estimator
+    (the runs are byte-identical, so only the timing varies; anything
+    slowing a repeat down is interference, not the kernel).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    config = scale_config(n_sensors, duration_s, seed=seed,
+                          protocol=protocol, **overrides)
+    best = None
+    for _ in range(repeats):
+        result = Simulation(config).run()
+        if best is None or result.wall_clock_s < best.wall_clock_s:
+            best = result
+    assert best is not None
+    return ScalePoint(
+        n_sensors=config.n_sensors,
+        n_sinks=config.n_sinks,
+        area_m=config.area_m,
+        duration_s=config.duration_s,
+        events_fired=best.events_fired,
+        wall_clock_s=best.wall_clock_s,
+        messages_delivered=best.messages_delivered,
+    )
+
+
+def run_scale_suite(sizes: Sequence[int], duration_s: float, *,
+                    seed: int = 1, protocol: str = "opt", repeats: int = 1,
+                    **overrides: object) -> List[ScalePoint]:
+    """Measure every size of the ladder (ascending, best of ``repeats``)."""
+    return [
+        measure_scale(n, duration_s, seed=seed, protocol=protocol,
+                      repeats=repeats, **overrides)
+        for n in sorted(sizes)
+    ]
+
+
+def write_scale_report(path: Union[str, pathlib.Path],
+                       points: Iterable[ScalePoint], *,
+                       baseline: Optional[Dict[str, object]] = None,
+                       note: str = "") -> Dict[str, object]:
+    """Write ``BENCH_scale.json``; returns the document written.
+
+    ``baseline`` (typically the previous kernel's measurements, loaded
+    with :func:`load_scale_report`) is carried through verbatim so the
+    file always shows before/after side by side.
+    """
+    doc: Dict[str, object] = {
+        "schema": "bench-scale-v1",
+        "note": note,
+        "points": [p.to_dict() for p in points],
+    }
+    if baseline is not None:
+        doc["baseline"] = baseline
+    pathlib.Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return doc
+
+
+def load_scale_report(path: Union[str, pathlib.Path]) -> Dict[str, object]:
+    """Load a ``BENCH_scale.json`` document written by this module."""
+    doc = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if doc.get("schema") != "bench-scale-v1":
+        raise ValueError(f"not a bench-scale-v1 document: {path}")
+    return doc

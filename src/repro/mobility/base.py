@@ -38,6 +38,20 @@ class MobilityModel(abc.ABC):
     calls :meth:`step` once per tick.
     """
 
+    #: Whether :meth:`step` can ever change :attr:`positions`.  Static
+    #: models (sinks bolted to walls) let the manager skip gathering and
+    #: re-binning their nodes on every tick.
+    is_static: bool = False
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        # A subclass that overrides step() without saying otherwise is
+        # assumed to move: inheriting is_static=True from e.g.
+        # StationaryMobility would silently freeze it in the manager's
+        # spatial index.
+        if "step" in cls.__dict__ and "is_static" not in cls.__dict__:
+            cls.is_static = False
+
     def __init__(self, node_ids: Sequence[int], area: Area) -> None:
         if len(set(node_ids)) != len(node_ids):
             raise ValueError("duplicate node ids in mobility model")

@@ -17,6 +17,8 @@ from repro.mobility.base import Area, MobilityModel
 class StationaryMobility(MobilityModel):
     """Nodes that never move."""
 
+    is_static = True
+
     def __init__(
         self,
         node_ids: Sequence[int],

@@ -61,15 +61,32 @@ class ZoneGridMobility(MobilityModel):
             self.zone_of(self.positions[i, 0], self.positions[i, 1]) for i in range(n)
         ]
         self.current_zones: List[Tuple[int, int]] = list(self.home_zones)
+        # Vector mirror of current_zones for the batched step(): the
+        # (n, 2) int array lets one numpy compare find the few nodes
+        # that crossed a zone boundary instead of a per-node Python
+        # loop.  Kept in sync with the list (which stays the public,
+        # test-visible view).
+        self._zones_arr = np.array(self.current_zones, dtype=np.int64).reshape(n, 2)
 
     # ------------------------------------------------------------------
     # geometry helpers
     # ------------------------------------------------------------------
     def zone_of(self, x: float, y: float) -> Tuple[int, int]:
         """Zone grid coordinates containing point ``(x, y)``."""
-        zx = min(int(x / self.zone_w), self.zones_per_side - 1)
-        zy = min(int(y / self.zone_h), self.zones_per_side - 1)
-        return (max(zx, 0), max(zy, 0))
+        last = self.zones_per_side - 1
+        zx = int(x / self.zone_w)
+        zy = int(y / self.zone_h)
+        # Explicit clamps: this runs for every boundary candidate each
+        # tick and the builtin max/min pair costs ~2x the branches.
+        if zx > last:
+            zx = last
+        elif zx < 0:
+            zx = 0
+        if zy > last:
+            zy = last
+        elif zy < 0:
+            zy = 0
+        return (zx, zy)
 
     def _zone_bounds(self, zone: Tuple[int, int], axis: int) -> Tuple[float, float]:
         size = self.zone_w if axis == 0 else self.zone_h
@@ -87,25 +104,53 @@ class ZoneGridMobility(MobilityModel):
     # stepping
     # ------------------------------------------------------------------
     def step(self, dt: float) -> None:
-        """Advance every node by dt, applying the zone boundary rule."""
+        """Advance every node by dt, applying the zone boundary rule.
+
+        Position integration, boundary reflection and zone lookup are
+        batched over all nodes; only the nodes that actually hit a zone
+        boundary (or are due a speed resample) take the scalar
+        cross-or-bounce path.  The scalar path — and therefore the RNG
+        draw order — is byte-identical to the historical all-Python
+        loop: candidates are visited in ascending index order and run
+        the exact per-node logic.
+        """
         if dt <= 0:
             raise ValueError("dt must be positive")
-        n = len(self.node_ids)
         self._since_resample += dt
         proposed = self.positions + self.velocities * dt
         self._reflect_into_area(proposed, self.velocities)
 
-        for i in range(n):
-            zone = self.current_zones[i]
-            new_zone = self.zone_of(proposed[i, 0], proposed[i, 1])
-            if new_zone != zone:
-                self._handle_boundary(i, proposed[i], zone, new_zone)
-                landed = self.zone_of(proposed[i, 0], proposed[i, 1])
-                if landed != zone:
-                    self.current_zones[i] = landed
+        # Batched zone_of(): trunc-toward-zero cast then clip matches
+        # the scalar min/max-of-int() exactly for every float input.
+        last = self.zones_per_side - 1
+        zx = np.clip((proposed[:, 0] / self.zone_w).astype(np.int64), 0, last)
+        zy = np.clip((proposed[:, 1] / self.zone_h).astype(np.int64), 0, last)
+        crossed = (zx != self._zones_arr[:, 0]) | (zy != self._zones_arr[:, 1])
+        due = crossed | (self._since_resample >= self.speed_resample_interval)
+
+        due_rows = np.nonzero(due)[0]
+        if due_rows.size:
+            # Pull the per-candidate values out as plain Python scalars
+            # (a handful of bulk conversions on the small "due" subset);
+            # element-wise numpy indexing inside the loop costs ~10x a
+            # list access, and whole-array tolist() pays for the ~90% of
+            # nodes that are not due.
+            crossed_d = crossed[due_rows].tolist()
+            zx_d = zx[due_rows].tolist()
+            zy_d = zy[due_rows].tolist()
+            for j, i in enumerate(due_rows.tolist()):
+                zone = self.current_zones[i]
+                if crossed_d[j]:
+                    new_zone = (zx_d[j], zy_d[j])
+                    self._handle_boundary(i, proposed[i], zone, new_zone)
+                    landed = self.zone_of(proposed[i, 0], proposed[i, 1])
+                    if landed != zone:
+                        self.current_zones[i] = landed
+                        self._zones_arr[i, 0] = landed[0]
+                        self._zones_arr[i, 1] = landed[1]
+                        self._resample_velocity(i)
+                if self._since_resample[i] >= self.speed_resample_interval:
                     self._resample_velocity(i)
-            if self._since_resample[i] >= self.speed_resample_interval:
-                self._resample_velocity(i)
         self.positions[:] = proposed
 
     def _handle_boundary(
@@ -115,22 +160,44 @@ class ZoneGridMobility(MobilityModel):
         zone: Tuple[int, int],
         new_zone: Tuple[int, int],
     ) -> None:
-        """Apply the cross-or-bounce rule on each crossed axis."""
-        for axis in (0, 1):
-            if new_zone[axis] == zone[axis]:
-                continue
-            step_dir = 1 if new_zone[axis] > zone[axis] else -1
-            target = list(zone)
-            target[axis] += step_dir
-            if self._may_cross(i, tuple(target)):
-                continue
-            lo, hi = self._zone_bounds(zone, axis)
-            boundary = hi if step_dir > 0 else lo
-            pos[axis] = 2.0 * boundary - pos[axis]
-            self.velocities[i, axis] = -self.velocities[i, axis]
-            # Numerical safety: keep strictly inside the current zone.
-            eps = 1e-9
-            pos[axis] = min(max(pos[axis], lo + eps), hi - eps)
+        """Apply the cross-or-bounce rule on each crossed axis.
+
+        Both axes evaluate the crossing target relative to the *old*
+        zone (a diagonal crossing proposes two independent single-axis
+        targets), exactly as the historical per-axis loop did.
+        """
+        zx, zy = zone
+        if new_zone[0] != zx:
+            step_dir = 1 if new_zone[0] > zx else -1
+            if not self._may_cross(i, (zx + step_dir, zy)):
+                self._bounce(i, pos, zone, 0, step_dir)
+        if new_zone[1] != zy:
+            step_dir = 1 if new_zone[1] > zy else -1
+            if not self._may_cross(i, (zx, zy + step_dir)):
+                self._bounce(i, pos, zone, 1, step_dir)
+
+    def _bounce(
+        self,
+        i: int,
+        pos: np.ndarray,
+        zone: Tuple[int, int],
+        axis: int,
+        step_dir: int,
+    ) -> None:
+        """Reflect node ``i`` off the ``axis`` boundary of ``zone``."""
+        lo, hi = self._zone_bounds(zone, axis)
+        boundary = hi if step_dir > 0 else lo
+        new_val = 2.0 * boundary - pos[axis]
+        self.velocities[i, axis] = -self.velocities[i, axis]
+        # Numerical safety: keep strictly inside the current zone.
+        eps = 1e-9
+        lo_e = lo + eps
+        hi_e = hi - eps
+        if new_val < lo_e:
+            new_val = lo_e
+        elif new_val > hi_e:
+            new_val = hi_e
+        pos[axis] = new_val
 
     def _may_cross(self, i: int, target_zone: Tuple[int, int]) -> bool:
         """Boundary rule: always cross into home, else with exit_probability."""

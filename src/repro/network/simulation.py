@@ -215,6 +215,8 @@ class Simulation:
         return MobilityManager(
             self.scheduler, self.area, [sink_model, sensor_model],
             comm_range=cfg.comm_range_m, tick_s=cfg.mobility_tick_s,
+            neighbor_cache=cfg.neighbor_cache,
+            spatial_index=cfg.spatial_index,
         )
 
     def _grid_positions(self, n: int) -> List[Tuple[float, float]]:

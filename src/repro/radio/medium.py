@@ -13,8 +13,17 @@ independent of any particular mobility model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Protocol, Set
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Protocol,
+    Set,
+)
 
 from repro.des.scheduler import EventScheduler
 from repro.obs.bus import TelemetryBus
@@ -36,6 +45,25 @@ class NeighborProvider(Protocol):
     def in_range(self, a: int, b: int) -> bool:
         """Whether nodes ``a`` and ``b`` are currently within range."""
         ...
+
+
+def _neighbor_set_fn(
+    neighbors: NeighborProvider,
+) -> Callable[[int], AbstractSet[int]]:
+    """Set-valued neighbor lookup, synthesized if the provider lacks one.
+
+    :class:`~repro.mobility.manager.MobilityManager` exposes a memoized
+    ``neighbor_set``; the fallback (for minimal providers in tests or
+    extensions) derives an equivalent set per call from ``neighbors_of``.
+    """
+    native = getattr(neighbors, "neighbor_set", None)
+    if native is not None:
+        return native  # type: ignore[no-any-return]
+
+    def derived(node_id: int) -> AbstractSet[int]:
+        return frozenset(neighbors.neighbors_of(node_id))
+
+    return derived
 
 
 class RadioFaultHook(Protocol):
@@ -104,8 +132,23 @@ class WirelessMedium:
         self._scheduler = scheduler
         self.timing = timing
         self._neighbors = neighbors
+        self._neighbor_set = _neighbor_set_fn(neighbors)
         self._radios: Dict[int, "Transceiver"] = {}
-        self._active: List[_Transmission] = []
+        # In-flight transmissions keyed by source id.  A radio must be
+        # LISTENING to transmit and only returns to LISTENING after its
+        # own end-of-frame callback, so a source can never have two
+        # frames in flight — the key is unique by construction.  Dict
+        # insertion order matches the old list's append order, keeping
+        # every iteration over active transmissions byte-identical.
+        self._active: Dict[int, _Transmission] = {}
+        # The keys of _active as a real set: set.isdisjoint(set) visits
+        # the smaller operand, while passing a dict would iterate every
+        # in-flight transmission (there can be hundreds at 10k nodes).
+        self._active_srcs: Set[int] = set()
+        # Reverse index: receiver id -> in-flight transmissions whose
+        # audience contains it (the old per-frame "other_id in
+        # t.audience" scan, precomputed).
+        self._rx_audience: Dict[int, Set[_Transmission]] = {}
         self.stats = MediumStats()
         self._bus: Optional[TelemetryBus] = None
         self._fault_hook: Optional[RadioFaultHook] = None
@@ -147,12 +190,20 @@ class WirelessMedium:
         True when any in-flight transmission originates within range
         (regardless of whether this node can decode it).
         """
+        active = self._active
+        if not active:
+            return False
         hook = self._fault_hook
+        if hook is None:
+            # Set intersection against the active sources: equivalent to
+            # the per-transmission in_range() scan because the node is
+            # never in its own neighbor set.
+            return not self._neighbor_set(node_id).isdisjoint(self._active_srcs)
         return any(
-            tx.src != node_id
-            and self._neighbors.in_range(tx.src, node_id)
-            and (hook is None or not hook.carrier_blocked(tx.src, node_id))
-            for tx in self._active
+            src != node_id
+            and self._neighbors.in_range(src, node_id)
+            and not hook.carrier_blocked(src, node_id)
+            for src in active
         )
 
     # ------------------------------------------------------------------
@@ -173,40 +224,57 @@ class WirelessMedium:
 
         wakes_sleepers = frame.kind is FrameKind.PREAMBLE
         fault_hook = self._fault_hook
-        for other_id in self._neighbors.neighbors_of(radio.node_id):
-            other = self._radios.get(other_id)
-            if other is None or other_id == radio.node_id:
+        active_srcs = self._active_srcs
+        rx_audience = self._rx_audience
+        neighbor_set = self._neighbor_set
+        radios_get = self._radios.get
+        sender = radio.node_id
+        tx_end = tx.end
+        tx_corrupted = tx.corrupted
+        tx_audience = tx.audience
+        for other_id in self._neighbors.neighbors_of(sender):
+            other = radios_get(other_id)
+            if other is None or other_id == sender:
                 continue
             if fault_hook is not None and fault_hook.frame_blocked(
-                    radio.node_id, other_id):
+                    sender, other_id):
                 # Impaired link: the frame is attenuated below the decode
                 # (and preamble-detect) threshold at this receiver.
                 continue
-            if not other.state.can_receive:
+            if not other.can_receive:
                 # Low-power listening: a sleeping radio whose next channel
                 # sample lands inside this preamble detects it and wakes
                 # (in time for the RTS that follows the preamble).
                 if wakes_sleepers:
                     sample_at = other.lpl_next_sample_at(now)
-                    if sample_at is not None and sample_at < tx.end:
+                    if sample_at is not None and sample_at < tx_end:
                         self._scheduler.schedule_at(sample_at, other.lpl_wake)
                 continue
             # Interference from every other in-flight transmission audible
-            # at this receiver corrupts both frames there.
-            interferers = [
-                t
-                for t in self._active
-                if t.src != radio.node_id
-                and (other_id in t.audience or self._neighbors.in_range(t.src, other_id))
-            ]
-            if interferers:
-                tx.corrupted.add(other_id)
-                for t in interferers:
-                    if other_id in t.audience:
-                        t.corrupted.add(other_id)
-            tx.audience.add(other_id)
+            # at this receiver corrupts both frames there.  "Audible" is
+            # the union of two sets: transmissions whose audience already
+            # contains this receiver (decodable since their start, even
+            # if mobility moved the pair apart since) and transmissions
+            # whose source is currently in range (carrier energy only).
+            # The sender has no in-flight frame of its own (half-duplex),
+            # so no self-exclusion is needed.
+            in_audience = rx_audience.get(other_id)
+            if in_audience:
+                tx_corrupted.add(other_id)
+                # Unordered iteration is safe: marking each interferer
+                # corrupted at this receiver commutes.
+                for t in in_audience:  # lint: disable=DET003
+                    t.corrupted.add(other_id)
+                in_audience.add(tx)
+            else:
+                if active_srcs and not neighbor_set(other_id).isdisjoint(
+                        active_srcs):
+                    tx_corrupted.add(other_id)
+                rx_audience[other_id] = {tx}
+            tx_audience.add(other_id)
 
-        self._active.append(tx)
+        self._active[sender] = tx
+        active_srcs.add(sender)
         self.stats.transmissions += 1
         self.stats.bits_sent += size
         bus = self._bus
@@ -219,12 +287,19 @@ class WirelessMedium:
         return duration
 
     def _end_transmission(self, tx: _Transmission) -> None:
-        self._active.remove(tx)
+        del self._active[tx.src]
+        self._active_srcs.discard(tx.src)
+        rx_audience = self._rx_audience
         bus = self._bus
         frame = tx.frame
         for node_id in tx.audience:
+            bucket = rx_audience[node_id]
+            if len(bucket) == 1:
+                del rx_audience[node_id]
+            else:
+                bucket.remove(tx)
             radio = self._radios[node_id]
-            if not radio.state.can_receive:
+            if not radio.can_receive:
                 # The receiver went to sleep / started transmitting
                 # mid-frame and simply misses it — corrupted or not.
                 # (The collision branch used to skip this check and

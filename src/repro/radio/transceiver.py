@@ -37,6 +37,12 @@ class Transceiver:
         self._medium = medium
         self._scheduler = scheduler
         self._state = RadioState.LISTENING
+        #: Whether an incoming frame can currently be decoded
+        #: (half-duplex: listening or receiving).  Kept as a plain bool,
+        #: updated on every state change — the medium reads it once per
+        #: (transmission, receiver) pair, where the enum-property chain
+        #: ``state.can_receive`` is measurably hot.
+        self.can_receive = True
         self.meter = EnergyMeter(profile, start_time=scheduler.now)
         self.on_frame: Optional[Callable[[Frame], None]] = None
         self.on_collision: Optional[Callable[[Frame], None]] = None
@@ -67,6 +73,8 @@ class Transceiver:
             self.meter.transition(new_state, self._scheduler.now,
                                   lpl_cheap=lpl_cheap)
             self._state = new_state
+            self.can_receive = (new_state is RadioState.LISTENING
+                                or new_state is RadioState.RECEIVING)
 
     def sleep(self, lpl_resume: bool = False) -> None:
         """Turn the radio off (cannot be called mid-transmission).
@@ -103,7 +111,8 @@ class Transceiver:
         Sample phases are fixed per node (unsynchronized clocks), so the
         instant is deterministic for a given node and time.
         """
-        if self.lpl_sample_interval_s is None or self._state.awake:
+        if (self.lpl_sample_interval_s is None
+                or self._state is not RadioState.SLEEPING):
             return None
         interval = self.lpl_sample_interval_s
         phase = (self.node_id * 0.618_033_988_75) % 1.0 * interval
@@ -132,7 +141,7 @@ class Transceiver:
     # ------------------------------------------------------------------
     def channel_busy(self) -> bool:
         """Physical carrier sense (requires an awake radio)."""
-        if not self._state.awake:
+        if self._state is RadioState.SLEEPING:
             raise RadioError(f"node {self.node_id}: carrier sense while asleep")
         return self._medium.channel_busy(self.node_id)
 

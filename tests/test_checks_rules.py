@@ -300,6 +300,115 @@ class TestApi002:
         tree["examples/demo.py"] = "from pkg.api import exported\n"
         assert tree_rules(tmp_path, tree) == []
 
+    PACKAGE_TREE = {
+        "src/pkg/__init__.py": "",
+        "src/pkg/api/__init__.py": """
+            from pkg.api.sim import exported
+
+            __all__ = ["exported"]
+        """,
+        "src/pkg/api/sim.py": """
+            def exported():
+                pass
+
+            def hidden():
+                pass
+
+            __all__ = ["exported"]
+        """,
+    }
+
+    def test_facade_package_example_covered_clean(self, tmp_path):
+        tree = dict(self.PACKAGE_TREE)
+        tree["examples/demo.py"] = "from pkg.api import exported\n"
+        assert tree_rules(tmp_path, tree) == []
+
+    def test_facade_package_walkup_finds_examples(self, tmp_path):
+        # The facade is a package (api/__init__.py two levels deeper
+        # than the old flat api.py): the rule must still locate
+        # examples/ and flag the uncovered import.
+        tree = dict(self.PACKAGE_TREE)
+        tree["examples/demo.py"] = "from pkg.api import exported, ghost\n"
+        findings = tree_rules(tmp_path, tree)
+        assert [f.rule for f in findings] == ["API002"]
+        assert "ghost" in findings[0].message
+
+    def test_subfacade_import_checked(self, tmp_path):
+        tree = dict(self.PACKAGE_TREE)
+        tree["examples/demo.py"] = "from pkg.api.sim import hidden\n"
+        findings = tree_rules(tmp_path, tree)
+        assert [f.rule for f in findings] == ["API002"]
+        assert "hidden" in findings[0].message
+        assert "pkg.api.sim" in findings[0].message
+
+    def test_subfacade_import_covered_clean(self, tmp_path):
+        tree = dict(self.PACKAGE_TREE)
+        tree["examples/demo.py"] = "from pkg.api.sim import exported\n"
+        assert tree_rules(tmp_path, tree) == []
+
+
+class TestApi003:
+    def _tree(self, init_all, sim_all, extra=None):
+        sim_defs = "\n".join(
+            f"def {n}():\n    pass\n" for n in set(sim_all) | {"a", "b"})
+        files = {
+            "src/pkg/__init__.py": "",
+            "src/pkg/api/__init__.py": (
+                "from pkg.api.sim import a, b\n"
+                f"__all__ = {init_all!r}\n"),
+            "src/pkg/api/sim.py": sim_defs + f"__all__ = {sim_all!r}\n",
+        }
+        if extra:
+            files.update(extra)
+        return files
+
+    @staticmethod
+    def _api003(findings):
+        return [f for f in findings if f.rule == "API003"]
+
+    def test_exact_partition_clean(self, tmp_path):
+        findings = tree_rules(
+            tmp_path, self._tree(["a", "b"], ["a", "b"]))
+        assert self._api003(findings) == []
+
+    def test_flat_name_without_home_fires(self, tmp_path):
+        files = self._tree(["a", "b"], ["a"])
+        # Bind "b" in the flat module itself so only API003 fires.
+        files["src/pkg/api/__init__.py"] = (
+            "from pkg.api.sim import a\n"
+            "def b():\n    pass\n"
+            "__all__ = ['a', 'b']\n")
+        findings = self._api003(tree_rules(tmp_path, files))
+        assert len(findings) == 1
+        assert "'b'" in findings[0].message
+        assert "no sub-facade" in findings[0].message
+
+    def test_subfacade_name_missing_flat_fires(self, tmp_path):
+        findings = self._api003(tree_rules(
+            tmp_path, self._tree(["a"], ["a", "b"])))
+        assert len(findings) == 1
+        assert "'b'" in findings[0].message
+        assert "missing from the flat" in findings[0].message
+
+    def test_name_owned_twice_fires(self, tmp_path):
+        files = self._tree(["a", "b"], ["a", "b"], extra={
+            "src/pkg/api/obs.py": "def a():\n    pass\n__all__ = ['a']\n",
+        })
+        findings = self._api003(tree_rules(tmp_path, files))
+        assert len(findings) == 1
+        assert "more than one" in findings[0].message
+        assert "pkg.api.obs" in findings[0].message
+        assert "pkg.api.sim" in findings[0].message
+
+    def test_flat_module_without_submodules_ignored(self, tmp_path):
+        # Pre-split layout: a flat api.py with no sub-facades must not
+        # trigger the partition rule.
+        findings = tree_rules(tmp_path, {
+            "src/pkg/__init__.py": "",
+            "src/pkg/api.py": "def a():\n    pass\n__all__ = ['a']\n",
+        })
+        assert self._api003(findings) == []
+
 
 class TestSer001:
     def test_generic_handler_with_stale_special_case_fires(self, tmp_path):
