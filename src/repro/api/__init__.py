@@ -17,6 +17,7 @@ working unchanged:
 * :mod:`repro.api.obs` — telemetry, tracing, and reports.
 * :mod:`repro.api.analysis` — closed-form models (paper Sec. 4).
 * :mod:`repro.api.contact` — contact-level simulation and policies.
+* :mod:`repro.api.scenario` — contact-plan replay and scenario presets.
 * :mod:`repro.api.checks` — the static-analysis engine (``dftmsn lint``).
 * :mod:`repro.api.bench` — kernel scaling benchmarks.
 
@@ -36,6 +37,7 @@ from repro.api import checks as checks
 from repro.api import contact as contact
 from repro.api import faults as faults
 from repro.api import obs as obs
+from repro.api import scenario as scenario
 from repro.api import sim as sim
 from repro.api.analysis import (
     cts_collision_probability,
@@ -109,6 +111,21 @@ from repro.api.obs import (
     read_trace,
     render_report,
     writer_for_path,
+)
+from repro.api.scenario import (
+    SCENARIOS,
+    ContactPlan,
+    ContactPlanError,
+    ContactPlanMobility,
+    PlannedContact,
+    ScenarioSpec,
+    get_scenario,
+    load_contact_plan,
+    parse_contact_plan,
+    resolve_plan,
+    scenario_contact_config,
+    scenario_names,
+    scenario_packet_config,
 )
 from repro.api.sim import (
     BERKELEY_MOTE,
@@ -200,6 +217,20 @@ __all__ = [
     "run_contact_simulation",
     "policy_comparison",
     "format_policy_comparison",
+    # scenario
+    "ContactPlan",
+    "ContactPlanError",
+    "ContactPlanMobility",
+    "PlannedContact",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "get_scenario",
+    "load_contact_plan",
+    "parse_contact_plan",
+    "resolve_plan",
+    "scenario_contact_config",
+    "scenario_names",
+    "scenario_packet_config",
     # checks
     "Finding",
     "lint_paths",

@@ -1,0 +1,48 @@
+"""``repro.api.scenario`` — contact-plan replay and scenario presets.
+
+The scenario layer (docs/SCENARIOS.md): parse ION-style contact plans
+(:func:`parse_contact_plan` / :func:`load_contact_plan`), realize them
+geometrically (:class:`ContactPlanMobility`) or replay them directly in
+the contact-level simulator, and turn the named registry presets
+(:data:`SCENARIOS`) into ready-to-run configs with
+:func:`scenario_packet_config` / :func:`scenario_contact_config`.
+
+Every name here is also importable from flat ``repro.api`` (the
+compatibility surface); see ``docs/API.md`` for the deprecation policy.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.mobility import ContactPlanMobility
+from repro.scenario.plan import (
+    ContactPlan,
+    ContactPlanError,
+    PlannedContact,
+    load_contact_plan,
+    parse_contact_plan,
+    resolve_plan,
+)
+from repro.scenario.registry import (
+    SCENARIOS,
+    get_scenario,
+    scenario_contact_config,
+    scenario_names,
+    scenario_packet_config,
+)
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "ContactPlan",
+    "ContactPlanError",
+    "ContactPlanMobility",
+    "PlannedContact",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "get_scenario",
+    "load_contact_plan",
+    "parse_contact_plan",
+    "resolve_plan",
+    "scenario_contact_config",
+    "scenario_names",
+    "scenario_packet_config",
+]

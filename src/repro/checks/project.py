@@ -27,7 +27,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Packages whose modules form the deterministic simulation core; the
 #: sim-only rules (DET002/DET003/SUB001/SCH001) apply only inside these.
-SIM_PACKAGES = frozenset({"core", "des", "network", "contact", "obs"})
+#: ``scenario`` is enrolled because plan parsing, plan-driven mobility,
+#: and the preset registry all feed seeded runs: any nondeterminism
+#: there breaks byte-identical replay.
+SIM_PACKAGES = frozenset({"core", "des", "network", "contact", "obs",
+                          "scenario"})
 
 #: Individual ``(package, module)`` pairs outside :data:`SIM_PACKAGES`
 #: that still carry the bit-for-bit reproducibility guarantee and so get

@@ -25,6 +25,10 @@ LAYER_CONTRACTS: Dict[str, Tuple[str, ...]] = {
         "repro.energy", "repro.metrics", "repro.trace", "repro.harness",
         "repro.analysis",
     ),
+    # The scenario layer sits between mobility/contact/network and the
+    # harness: it may build configs (registry) but must never reach up
+    # into experiment drivers or analysis.
+    "repro.scenario": ("repro.harness", "repro.analysis", "repro.api"),
 }
 
 

@@ -12,7 +12,8 @@ from repro.checks.project import ClassInfo, ModuleInfo, ProjectModel
 #: ride across the ProcessPoolRunner boundary and into checkpoints, so a
 #: field the serializer misses is silently dropped config — the class of
 #: bug that makes a parallel run diverge from a serial one.
-SERIALIZED_CLASSES = ("SimulationConfig", "ProtocolParameters", "FaultSpec")
+SERIALIZED_CLASSES = ("SimulationConfig", "ProtocolParameters", "FaultSpec",
+                      "ContactSimConfig", "ScenarioSpec")
 
 #: Calls that make a handler field-generic: it enumerates dataclass
 #: fields at runtime, so new fields are handled automatically.

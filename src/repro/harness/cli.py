@@ -20,7 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.harness.registry import EXPERIMENTS
 from repro.harness.runner import runner_for_workers
@@ -106,11 +106,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "contact", help="contact-level (ideal-MAC) policy comparison")
     contact_p.add_argument("--duration", type=float, default=25_000.0)
     contact_p.add_argument("--seed", type=int, default=1)
-    contact_p.add_argument("--sensors", type=int, default=100)
-    contact_p.add_argument("--sinks", type=int, default=3)
+    contact_p.add_argument("--sensors", type=int, default=None,
+                           help="sensor count (default: 100, or sized to "
+                                "the plan with --plan)")
+    contact_p.add_argument("--sinks", type=int, default=None,
+                           help="sink count (default: 3, or 1 with --plan)")
     contact_p.add_argument("--policies", default="fad,direct,epidemic,zbr,spray")
     contact_p.add_argument("--workers", type=_worker_count, default=0,
                            help="parallel worker processes (0 = serial)")
+    contact_p.add_argument("--plan", metavar="PATH", default=None,
+                           help="replay an ION-style contact plan instead "
+                                "of synthetic mobility (docs/SCENARIOS.md)")
 
     xval_p = sub.add_parser(
         "crossval", help="packet-level vs contact-level cross-validation")
@@ -118,6 +124,37 @@ def _build_parser() -> argparse.ArgumentParser:
     xval_p.add_argument("--seed", type=int, default=1)
     xval_p.add_argument("--workers", type=_worker_count, default=0,
                         help="parallel worker processes (0 = serial)")
+    xval_p.add_argument("--plan", metavar="PATH", default=None,
+                        help="drive BOTH levels with the same contact plan "
+                             "(geometric realization vs direct replay)")
+
+    scenario_p = sub.add_parser(
+        "scenario", help="named deployment scenarios (presets + contact "
+                         "plans; see docs/SCENARIOS.md)")
+    scenario_p.add_argument("action", choices=("list", "run"),
+                            help="'list' the registry or 'run' one scenario")
+    scenario_p.add_argument("name", nargs="?", default=None,
+                            help="scenario name (for 'run')")
+    scenario_p.add_argument("--level", choices=("contact", "packet", "both"),
+                            default="contact",
+                            help="which simulator(s) to run (default: "
+                                 "contact; 'both' also prints the gap)")
+    scenario_p.add_argument("--policy", default="fad",
+                            help="contact-level policy (default: fad)")
+    scenario_p.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                            default="opt",
+                            help="packet-level protocol (default: opt)")
+    scenario_p.add_argument("--duration", type=float, default=None,
+                            help="override the scenario's duration (s)")
+    scenario_p.add_argument("--seed", type=int, default=1)
+    scenario_p.add_argument("--json", action="store_true",
+                            help="emit the results as JSON")
+    scenario_p.add_argument("--check-invariants", action="store_true",
+                            help="assert the protocol invariants during "
+                                 "packet-level runs")
+    scenario_p.add_argument("--trace", metavar="PATH", default=None,
+                            help="stream the telemetry trace to PATH "
+                                 "(single-level runs only)")
 
     faults_p = sub.add_parser(
         "faults", help="fault campaign: protocol degradation curves "
@@ -397,11 +434,20 @@ def _cmd_contact(args: argparse.Namespace) -> int:
     )
 
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    # Only forward explicit topology flags: with --plan the comparison
+    # auto-sizes to the plan's node ids, without it the paper defaults
+    # (100 sensors / 3 sinks) come from ContactSimConfig itself.
+    topology: Dict[str, object] = {}
+    if args.sensors is not None:
+        topology["n_sensors"] = args.sensors
+    if args.sinks is not None:
+        topology["n_sinks"] = args.sinks
     results = policy_comparison(
         duration_s=args.duration, policies=policies, seed=args.seed,
-        n_sensors=args.sensors, n_sinks=args.sinks,
+        plan_path=args.plan,
         progress=lambda msg: print(msg, file=sys.stderr),
         runner=runner_for_workers(args.workers),
+        **topology,
     )
     print(format_policy_comparison(results))
     return 0
@@ -414,9 +460,93 @@ def _cmd_crossval(args: argparse.Namespace) -> int:
     )
 
     table = cross_validation(duration_s=args.duration, seed=args.seed,
+                             plan_path=args.plan,
                              progress=lambda msg: print(msg, file=sys.stderr),
                              runner=runner_for_workers(args.workers))
     print(format_cross_validation(table))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario.registry import (
+        SCENARIOS,
+        get_scenario,
+        scenario_contact_config,
+        scenario_packet_config,
+    )
+
+    if args.action == "list":
+        for name in sorted(SCENARIOS):
+            spec = SCENARIOS[name]
+            print(f"{name:<16} {spec.mobility:<5} {spec.n_sensors:>4} "
+                  f"sensors / {spec.n_sinks} sinks  {spec.description}")
+        return 0
+    if not args.name:
+        print("scenario run needs a scenario name (try 'scenario list')",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = get_scenario(args.name)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.check_invariants:
+        import os
+
+        from repro.checks.invariants import ENV_FLAG
+
+        os.environ[ENV_FLAG] = "1"
+    if args.trace is not None and args.level == "both":
+        print("--trace needs a single level (contact or packet)",
+              file=sys.stderr)
+        return 2
+    overrides: dict = {}
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    rows: dict = {}
+    if args.level in ("contact", "both"):
+        from repro.contact.simulator import run_contact_simulation
+
+        cfg = scenario_contact_config(spec, policy=args.policy,
+                                      seed=args.seed, trace_path=args.trace,
+                                      **overrides)
+        r = run_contact_simulation(cfg)
+        rows["contact"] = {
+            "label": args.policy, "generated": r.messages_generated,
+            "delivered": r.messages_delivered,
+            "delivery_ratio": r.delivery_ratio,
+            "average_delay_s": r.average_delay_s,
+        }
+    if args.level in ("packet", "both"):
+        cfg = scenario_packet_config(
+            spec, protocol=args.protocol, seed=args.seed,
+            check_invariants=args.check_invariants,
+            telemetry=args.trace is not None, trace_path=args.trace,
+            **overrides)
+        result = run_simulation(cfg)
+        d = result.to_dict()
+        rows["packet"] = {
+            "label": args.protocol, "generated": d["generated"],
+            "delivered": d["delivered"],
+            "delivery_ratio": d["delivery_ratio"],
+            "average_delay_s": d["average_delay_s"],
+        }
+    if args.json:
+        print(json.dumps({"scenario": spec.name, "levels": rows}, indent=2))
+        return 0
+    print(f"# scenario {spec.name} ({spec.mobility} mobility)")
+    print(f"{'level':<9} {'proto':<9} {'generated':>10} {'delivered':>10} "
+          f"{'ratio':>7} {'delay(s)':>9}")
+    for level, row in rows.items():
+        delay = row["average_delay_s"]
+        delay_text = "-" if delay is None else format(delay, ".0f")
+        print(f"{level:<9} {row['label']:<9} {row['generated']:>10} "
+              f"{row['delivered']:>10} {row['delivery_ratio']:>7.3f} "
+              f"{delay_text:>9}")
+    if len(rows) == 2:
+        gap = (rows["contact"]["delivery_ratio"]
+               - rows["packet"]["delivery_ratio"])
+        print(f"contact-minus-packet delivery gap: {gap:+.3f}")
     return 0
 
 
@@ -437,6 +567,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_contact(args)
     if args.command == "crossval":
         return _cmd_crossval(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError("unreachable")

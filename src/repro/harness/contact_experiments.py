@@ -22,6 +22,7 @@ from repro.contact.simulator import (
 from repro.harness.runner import Job, Runner, RunFailure, SerialRunner
 from repro.harness.serialize import Checkpoint
 from repro.network.config import SimulationConfig
+from repro.scenario.plan import load_contact_plan
 
 
 def _raise_on_failure(outcome: object) -> object:
@@ -39,17 +40,33 @@ def policy_comparison(
     progress: Optional[Callable[[str], None]] = None,
     runner: Optional[Runner] = None,
     checkpoint: Optional[Checkpoint] = None,
+    plan_path: Optional[str] = None,
     **config_overrides: object,
 ) -> Dict[str, ContactSimResult]:
-    """Run each contact-level policy on the paper topology."""
+    """Run each contact-level policy on the paper topology.
+
+    With ``plan_path`` the policies replay the plan instead of running
+    synthetic mobility, and the topology is auto-sized to the plan's
+    node ids (1 sink by default) unless ``n_sinks`` / ``n_sensors``
+    overrides say otherwise — the paper's 3-sink default would silently
+    swallow a small plan's nodes 0-2 as traffic-free sinks.
+    """
     if runner is None:
         runner = SerialRunner()
+    extra: Dict[str, object] = dict(config_overrides)
+    if plan_path is not None:
+        plan = load_contact_plan(plan_path)
+        n_sinks = int(extra.pop("n_sinks", 1))  # type: ignore[arg-type]
+        n_sensors = int(extra.pop(  # type: ignore[arg-type]
+            "n_sensors", max(max(plan.node_ids) + 1 - n_sinks, 1)))
+        extra.update(plan_path=plan_path, n_sinks=n_sinks,
+                     n_sensors=n_sensors)
     jobs = []
     for policy in policies:
         if progress is not None:
             progress(f"contact policy {policy}")
         cfg = ContactSimConfig(policy=policy, duration_s=duration_s,
-                               seed=seed, **config_overrides)  # type: ignore[arg-type]
+                               seed=seed, **extra)  # type: ignore[arg-type]
         jobs.append(Job("contact", cfg))
     outcomes = runner.run_jobs(jobs, progress=progress,
                                checkpoint=checkpoint)
@@ -78,6 +95,8 @@ def cross_validation(
     progress: Optional[Callable[[str], None]] = None,
     runner: Optional[Runner] = None,
     checkpoint: Optional[Checkpoint] = None,
+    plan_path: Optional[str] = None,
+    **config_overrides: object,
 ) -> Dict[str, Dict[str, float]]:
     """Packet-level vs contact-level delivery ratios for matched policies.
 
@@ -85,18 +104,39 @@ def cross_validation(
     level (ideal MAC, no sleeping) should dominate the packet level,
     with the same ordering across policies.  Both runs of every pair go
     into one batch, so a parallel runner overlaps all six simulations.
+
+    With ``plan_path``, both levels consume the *identical* contact
+    sequence: the packet level realizes the plan geometrically through
+    ``ContactPlanMobility`` while the contact level replays it directly,
+    so every ``gap`` row isolates pure MAC/contention cost.  The
+    topology is auto-sized to the plan's node ids unless ``n_sinks`` /
+    ``n_sensors`` overrides say otherwise.
     """
     if runner is None:
         runner = SerialRunner()
+    packet_extra: Dict[str, object] = dict(config_overrides)
+    contact_extra: Dict[str, object] = dict(config_overrides)
+    if plan_path is not None:
+        plan = load_contact_plan(plan_path)
+        n_sinks = int(packet_extra.pop("n_sinks", 1))  # type: ignore[arg-type]
+        n_sensors = int(packet_extra.pop(  # type: ignore[arg-type]
+            "n_sensors", max(max(plan.node_ids) + 1 - n_sinks, 1)))
+        packet_extra.update(mobility_model="plan", plan_path=plan_path,
+                            n_sinks=n_sinks, n_sensors=n_sensors)
+        contact_extra.update(plan_path=plan_path, n_sinks=n_sinks,
+                             n_sensors=n_sensors)
+        contact_extra.pop("mobility_model", None)
     pairs = {"opt": "fad", "direct": "direct", "zbr": "zbr"}
     jobs: List[Job] = []
     for packet_proto, contact_policy in pairs.items():
         if progress is not None:
             progress(f"packet {packet_proto} vs contact {contact_policy}")
         jobs.append(Job("packet", SimulationConfig(
-            protocol=packet_proto, duration_s=duration_s, seed=seed)))
+            protocol=packet_proto, duration_s=duration_s, seed=seed,
+            **packet_extra)))  # type: ignore[arg-type]
         jobs.append(Job("contact", ContactSimConfig(
-            policy=contact_policy, duration_s=duration_s, seed=seed)))
+            policy=contact_policy, duration_s=duration_s, seed=seed,
+            **contact_extra)))  # type: ignore[arg-type]
     outcomes = runner.run_jobs(jobs, progress=progress,
                                checkpoint=checkpoint)
     table: Dict[str, Dict[str, float]] = {}
@@ -106,14 +146,18 @@ def cross_validation(
         table[packet_proto] = {
             "packet_ratio": packet.delivery_ratio,  # type: ignore[union-attr]
             "contact_ratio": contact.delivery_ratio,  # type: ignore[union-attr]
+            "gap": (contact.delivery_ratio  # type: ignore[union-attr]
+                    - packet.delivery_ratio),  # type: ignore[union-attr]
         }
     return table
 
 
 def format_cross_validation(table: Dict[str, Dict[str, float]]) -> str:
     """Render the packet-vs-contact table as text."""
-    lines = [f"{'protocol':<10} {'packet-level':>13} {'contact-level':>14}"]
+    lines = [f"{'protocol':<10} {'packet-level':>13} {'contact-level':>14} "
+             f"{'gap':>7}"]
     for proto, row in table.items():
+        gap = row.get("gap", row["contact_ratio"] - row["packet_ratio"])
         lines.append(f"{proto:<10} {row['packet_ratio']:>13.3f} "
-                     f"{row['contact_ratio']:>14.3f}")
+                     f"{row['contact_ratio']:>14.3f} {gap:>7.3f}")
     return "\n".join(lines)

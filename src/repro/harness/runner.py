@@ -37,7 +37,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Union
 
-from repro.contact.simulator import run_contact_simulation
+from repro.contact.simulator import ContactSimConfig, run_contact_simulation
 from repro.harness import serialize
 from repro.harness.serialize import Checkpoint, run_key
 from repro.network.config import SimulationConfig
@@ -271,15 +271,15 @@ class ProcessPoolRunner(Runner):
 
 
 class TracingRunner(Runner):
-    """Wrap another runner, tracing every packet-level job to disk.
+    """Wrap another runner, tracing every job to disk.
 
-    Each packet job's config is rewritten with ``telemetry`` on and a
-    ``trace_path`` under ``trace_dir``, named by the first 16 hex chars
-    of the job's (pre-trace) run key, so re-runs of the same config
-    overwrite their own trace.  Contact-level jobs pass through
-    untouched (the contact simulator has no per-run trace file yet).
-    Works with any inner backend: the trace path travels inside the
-    config dict, so pool workers write traces too.
+    Each job's config is rewritten with a ``trace_path`` under
+    ``trace_dir`` (packet jobs also get ``telemetry`` on), named by the
+    first 16 hex chars of the job's (pre-trace) run key, so re-runs of
+    the same config overwrite their own trace.  Packet- and
+    contact-level jobs emit the same JSONL format (``dftmsn report``
+    consumes both).  Works with any inner backend: the trace path
+    travels inside the config dict, so pool workers write traces too.
     """
 
     def __init__(self, inner: Runner, trace_dir: Union[str, Path]) -> None:
@@ -299,15 +299,17 @@ class TracingRunner(Runner):
                                    checkpoint=checkpoint)
 
     def _with_trace(self, job: Job) -> Job:
-        if job.kind != "packet":
-            return job
         config = job.config
-        assert isinstance(config, SimulationConfig)
         # Key on the config *before* the trace path is added, so the
         # file name does not depend on where the traces land.
-        key = run_key(job.kind, config.to_dict())[:16]
-        config = replace(config, telemetry=True,
-                         trace_path=str(self.trace_dir / f"{key}.jsonl"))
+        key = run_key(job.kind, JOB_KINDS[job.kind].encode_config(config))[:16]
+        path = str(self.trace_dir / f"{key}.jsonl")
+        if job.kind == "packet":
+            assert isinstance(config, SimulationConfig)
+            config = replace(config, telemetry=True, trace_path=path)
+        else:
+            assert isinstance(config, ContactSimConfig)
+            config = replace(config, trace_path=path)
         return Job(job.kind, config)
 
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
-from dataclasses import asdict, fields
+from dataclasses import fields
 from typing import Dict, Optional
 
 from repro.contact.simulator import ContactSimConfig, ContactSimResult
@@ -62,13 +62,13 @@ def result_from_dict(data: Dict[str, object]) -> SimulationResult:
 # contact-level configs and results
 # ----------------------------------------------------------------------
 def contact_config_to_dict(config: ContactSimConfig) -> Dict[str, object]:
-    """Plain-data view of a contact-level config (all fields scalar)."""
-    return asdict(config)
+    """Plain-data view of a contact-level config (nested scenario included)."""
+    return config.to_dict()
 
 
 def contact_config_from_dict(data: Dict[str, object]) -> ContactSimConfig:
     """Rebuild a :class:`ContactSimConfig` from its dict view."""
-    return ContactSimConfig(**data)  # type: ignore[arg-type]
+    return ContactSimConfig.from_dict(data)
 
 
 def contact_result_to_dict(result: ContactSimResult) -> Dict[str, object]:
@@ -77,7 +77,7 @@ def contact_result_to_dict(result: ContactSimResult) -> Dict[str, object]:
     for f in fields(ContactSimResult):
         value = getattr(result, f.name)
         if f.name == "config":
-            value = asdict(value)
+            value = value.to_dict()
         out[f.name] = value
     return out
 

@@ -18,6 +18,7 @@ from repro.baselines.zbr import ZbrAgent
 from repro.core.params import ProtocolParameters
 from repro.core.protocol import CrossLayerAgent, MacAgent
 from repro.network.faults import FaultSpec
+from repro.scenario.spec import ScenarioSpec
 
 
 def _protocol_table() -> Dict[str, Tuple[Type[MacAgent], ProtocolParameters]]:
@@ -60,11 +61,18 @@ class SimulationConfig:
     sink_mobility: str = "static"  # "static" | "mobile"
 
     # --- mobility -----------------------------------------------------------
-    mobility_model: str = "zone"  # "zone" | "walk" | "waypoint" | "levy"
+    mobility_model: str = "zone"  # "zone" | "walk" | "waypoint" | "levy" | "plan"
     speed_min_mps: float = 0.0
     speed_max_mps: float = 5.0
     exit_probability: float = 0.2
     mobility_tick_s: float = 1.0
+    # --- scenario / contact-plan replay (repro.scenario) ------------------------
+    #: External ION-style contact plan driving ``mobility_model="plan"``
+    #: (file path; see docs/SCENARIOS.md for the grammar).
+    plan_path: Optional[str] = None
+    #: Scenario provenance; a plan-driven spec (``mobility == "plan"``)
+    #: supplies its inline plan when ``plan_path`` is unset.
+    scenario: Optional[ScenarioSpec] = None
 
     # --- kernel tuning ----------------------------------------------------------
     # Both knobs are result-neutral: a seeded run yields a byte-identical
@@ -126,8 +134,24 @@ class SimulationConfig:
                 f"unknown protocol {self.protocol!r}; "
                 f"choose from {sorted(PROTOCOLS)}"
             )
-        if self.mobility_model not in ("zone", "walk", "waypoint", "levy"):
+        # Normalize the scenario (JSON round trips yield plain dicts).
+        if self.scenario is not None and not isinstance(self.scenario,
+                                                        ScenarioSpec):
+            if not isinstance(self.scenario, dict):
+                raise ValueError(f"scenario must be a ScenarioSpec, "
+                                 f"got {self.scenario!r}")
+            object.__setattr__(self, "scenario",
+                               ScenarioSpec.from_dict(self.scenario))
+        if self.mobility_model not in ("zone", "walk", "waypoint", "levy",
+                                       "plan"):
             raise ValueError(f"unknown mobility model {self.mobility_model!r}")
+        if self.mobility_model == "plan":
+            scenario_plan = (self.scenario is not None
+                             and self.scenario.mobility == "plan")
+            if self.plan_path is None and not scenario_plan:
+                raise ValueError(
+                    "mobility_model='plan' needs plan_path or a "
+                    "plan-driven scenario")
         if self.sink_placement not in ("random", "grid"):
             raise ValueError(f"unknown sink placement {self.sink_placement!r}")
         if self.sink_mobility not in ("static", "mobile"):
@@ -192,6 +216,8 @@ class SimulationConfig:
                 value = None if value is None else value.to_dict()
             elif f.name == "faults":
                 value = [spec.to_dict() for spec in value]
+            elif f.name == "scenario":
+                value = None if value is None else value.to_dict()
             out[f.name] = value
         return out
 
@@ -213,6 +239,9 @@ class SimulationConfig:
                 spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
                 for spec in faults  # type: ignore[union-attr]
             )
+        scenario = payload.get("scenario")
+        if scenario is not None and not isinstance(scenario, ScenarioSpec):
+            payload["scenario"] = ScenarioSpec.from_dict(scenario)  # type: ignore[arg-type]
         return cls(**payload)  # type: ignore[arg-type]
 
     @property

@@ -38,6 +38,8 @@ from repro.obs.spans import SpanTracker
 from repro.radio.medium import WirelessMedium
 from repro.radio.timing import ChannelTiming
 from repro.radio.transceiver import Transceiver
+from repro.scenario.mobility import ContactPlanMobility
+from repro.scenario.plan import resolve_plan
 from repro.traffic.generators import PoissonTraffic
 
 
@@ -169,6 +171,21 @@ class Simulation:
     # ------------------------------------------------------------------
     def _build_mobility(self) -> MobilityManager:
         cfg = self.config
+        if cfg.mobility_model == "plan":
+            # Plan replay: one deterministic model owns every node (sinks
+            # included) and teleports pairs into range on schedule.  No
+            # mobility RNG is consumed — substreams are derived by name,
+            # so the traffic/MAC streams are unaffected.
+            plan = resolve_plan(cfg.plan_path, cfg.scenario)
+            node_ids = list(cfg.sink_ids) + list(cfg.sensor_ids)
+            plan_model = ContactPlanMobility(node_ids, self.area, plan,
+                                             comm_range=cfg.comm_range_m)
+            return MobilityManager(
+                self.scheduler, self.area, [plan_model],
+                comm_range=cfg.comm_range_m, tick_s=cfg.mobility_tick_s,
+                neighbor_cache=cfg.neighbor_cache,
+                spatial_index=cfg.spatial_index,
+            )
         sink_rng = self.streams.stream("sink-placement")
         if cfg.sink_mobility == "mobile":
             # Sinks carried by people: same zone mobility as sensors.

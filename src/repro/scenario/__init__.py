@@ -1,0 +1,38 @@
+"""Scenario layer: external contact plans and named deployment presets.
+
+``repro.scenario`` decouples *what contacts happen* from *how they are
+simulated*: an ION-style contact plan (:mod:`repro.scenario.plan`) can
+drive the geometric simulators through
+:class:`~repro.scenario.mobility.ContactPlanMobility` or be replayed
+directly by the contact-level simulator, and the registry
+(:mod:`repro.scenario.registry`) names ready-made deployment scenarios.
+
+Import note: this package's ``__init__`` deliberately re-exports only
+the plan/spec/mobility layer.  The registry builds concrete configs and
+therefore imports ``repro.network`` / ``repro.contact`` — which
+themselves import :mod:`repro.scenario.spec` — so it must be imported
+explicitly (``from repro.scenario.registry import ...``) to keep the
+import graph acyclic.  ``repro.api.scenario`` flattens both for users.
+"""
+
+from repro.scenario.mobility import ContactPlanMobility
+from repro.scenario.plan import (
+    ContactPlan,
+    ContactPlanError,
+    PlannedContact,
+    load_contact_plan,
+    parse_contact_plan,
+    resolve_plan,
+)
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "ContactPlan",
+    "ContactPlanError",
+    "ContactPlanMobility",
+    "PlannedContact",
+    "ScenarioSpec",
+    "load_contact_plan",
+    "parse_contact_plan",
+    "resolve_plan",
+]

@@ -1,0 +1,136 @@
+"""Plan-driven mobility: position nodes to realize scheduled contacts.
+
+:class:`ContactPlanMobility` is a regular
+:class:`~repro.mobility.base.MobilityModel`, so the
+:class:`~repro.mobility.manager.MobilityManager`, the geometric contact
+detectors, the invariant checker, and telemetry all work unchanged on a
+plan-driven run.  Instead of moving nodes kinematically it *teleports*
+them each tick:
+
+* every node owns a fixed parking spot on a grid with ``2 * comm_range``
+  spacing, so parked nodes are pairwise out of range — including nodes
+  the plan never mentions (they simply stay parked, positioned like any
+  other node);
+* while a planned contact's half-open window ``[start, end)`` covers the
+  current time, the higher-id endpoint is moved next to the lower-id
+  endpoint (within ``comm_range``), realizing the contact for any
+  range-based detector.
+
+The realization is purely deterministic — no RNG is consumed, so adding
+plan-driven nodes to a seeded run never perturbs other substreams.
+
+Caveat: realized contacts are *geometric*, so three nodes chained by two
+simultaneous planned contacts may transitively come within range of each
+other; plans that need strict pairwise isolation should avoid scheduling
+overlapping windows that share an endpoint (the replay mode of the
+contact-level simulator has no such caveat — see docs/SCENARIOS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from repro.mobility.base import Area, MobilityModel
+from repro.scenario.plan import ContactPlan
+
+__all__ = ["ContactPlanMobility"]
+
+#: Fraction of the communication range separating an anchored mover from
+#: its base — comfortably in range, but never exactly co-located.
+_OFFSET_FRACTION = 0.45
+
+
+class ContactPlanMobility(MobilityModel):
+    """Teleporting mobility that realizes an external contact plan."""
+
+    def __init__(self, node_ids: Sequence[int], area: Area,
+                 plan: ContactPlan, comm_range: float = 10.0) -> None:
+        super().__init__(node_ids, area)
+        if comm_range <= 0:
+            raise ValueError("comm_range must be positive")
+        plan.require_nodes(self.node_ids)
+        self.plan = plan
+        self.comm_range = comm_range
+        self._row_of: Dict[int, int] = {nid: i
+                                        for i, nid in enumerate(self.node_ids)}
+        self._spots = self._parking_spots()
+        self._time = 0.0
+        # Realize t=0 immediately: a plan whose first contact starts at
+        # time zero must be in range before the detector's first scan.
+        self._apply(0.0)
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def _parking_spots(self) -> "list[Tuple[float, float]]":
+        """A grid of mutually out-of-range spots, one per node."""
+        n = len(self.node_ids)
+        spacing = 2.0 * self.comm_range
+        margin = self.comm_range
+        cols = max(1, math.ceil(math.sqrt(n)))
+        rows = math.ceil(n / cols)
+        need_w = 2.0 * margin + (cols - 1) * spacing
+        need_h = 2.0 * margin + (rows - 1) * spacing
+        if need_w > self.area.width or need_h > self.area.height:
+            raise ValueError(
+                f"area {self.area.width:g}x{self.area.height:g} m too small "
+                f"to park {n} plan-driven nodes out of range: need at least "
+                f"{need_w:g}x{need_h:g} m at comm_range={self.comm_range:g}")
+        spots = []
+        for i in range(n):
+            r, c = divmod(i, cols)
+            spots.append((margin + c * spacing, margin + r * spacing))
+        return spots
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, dt: float) -> None:
+        """Advance the plan clock and re-realize the active contacts."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self._time += dt
+        self._apply(self._time)
+
+    def _apply(self, now: float) -> None:
+        """Teleport every node to realize the contacts active at ``now``.
+
+        Everyone first returns to their parking spot; then each active
+        contact anchors its higher-id endpoint next to the lower-id one.
+        A node in several simultaneous contacts anchors the others around
+        itself at distinct angles, so small contact cliques stay in
+        range of their hub.
+        """
+        for nid, (x, y) in zip(self.node_ids, self._spots):
+            row = self._row_of[nid]
+            self.positions[row, 0] = x
+            self.positions[row, 1] = y
+        placed: Dict[int, Tuple[float, float]] = {}
+        fanout: Dict[int, int] = {}
+        offset = _OFFSET_FRACTION * self.comm_range
+        # active_at() iterates the plan's sorted contacts, so placement
+        # order (and therefore every position) is deterministic.
+        for contact in self.plan.active_at(now):
+            a, b = contact.a, contact.b
+            if a in placed and b in placed:
+                continue
+            if b in placed:
+                base_id, mover = b, a
+            else:
+                base_id, mover = a, b
+            if base_id not in placed:
+                placed[base_id] = self._spots[self._row_of[base_id]]
+            base = placed[base_id]
+            angle = fanout.get(base_id, 0) * (math.pi / 4.0)
+            fanout[base_id] = fanout.get(base_id, 0) + 1
+            x = base[0] + offset * math.cos(angle)
+            y = base[1] + offset * math.sin(angle)
+            # The parking margin equals comm_range > offset, so anchored
+            # positions stay inside the area; clamp as a safety net.
+            x = min(max(x, 0.0), self.area.width)
+            y = min(max(y, 0.0), self.area.height)
+            placed[mover] = (x, y)
+            row = self._row_of[mover]
+            self.positions[row, 0] = x
+            self.positions[row, 1] = y

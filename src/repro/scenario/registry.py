@@ -1,0 +1,165 @@
+"""Named scenario presets and config builders.
+
+The registry maps scenario names to frozen
+:class:`~repro.scenario.spec.ScenarioSpec` values and turns a spec into
+a ready-to-run ``SimulationConfig`` (packet level) or
+``ContactSimConfig`` (contact level), with the spec itself riding along
+in the config's ``scenario`` field for provenance and serialization.
+
+Presets (see docs/SCENARIOS.md for the rationale):
+
+* ``campus`` — mid-density pedestrian deployment, chatty traffic;
+* ``city`` — sparse wide-area deployment with vehicular speed spread;
+* ``crowd-event`` — dense, slow crowd with bursty sensing traffic;
+* ``satellite-pass`` — plan-driven: a ground sink with periodic
+  pass windows to a small constellation, plus inter-satellite
+  cross-links (generated ION-style contact plan).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.contact.simulator import ContactSimConfig
+from repro.network.config import SimulationConfig
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_contact_config",
+    "scenario_names",
+    "scenario_packet_config",
+]
+
+
+def _satellite_pass_plan(n_sensors: int = 8, n_sinks: int = 1,
+                         period_s: float = 600.0, pass_s: float = 60.0,
+                         horizon_s: float = 6_000.0,
+                         rate_bps: float = 10_000.0) -> str:
+    """Generate the periodic-pass contact plan for ``satellite-pass``.
+
+    Satellites (ids ``n_sinks`` ..) see the ground sink (id 0) for
+    ``pass_s`` every ``period_s``, phase-staggered so passes never
+    overlap at the sink; adjacent satellites share a cross-link window
+    half a period after each pass, letting data route around missed
+    passes.
+    """
+    lines: List[str] = ["# generated satellite-pass contact plan",
+                        f"# {n_sensors} satellites, sink 0, "
+                        f"{period_s:g}s period, {pass_s:g}s passes"]
+    sink = 0
+    sats = list(range(n_sinks, n_sinks + n_sensors))
+    phase_step = period_s / max(n_sensors, 1)
+    for j, sat in enumerate(sats):
+        t = j * phase_step
+        while t < horizon_s:
+            end = min(t + pass_s, horizon_s)
+            if end > t:
+                lines.append(f"a contact +{t:g} +{end:g} {sink} {sat} "
+                             f"{rate_bps:g}")
+            t += period_s
+    # Cross-links: satellite j meets j+1 between their ground passes.
+    for j in range(len(sats) - 1):
+        t = j * phase_step + period_s / 2.0
+        while t < horizon_s:
+            end = min(t + pass_s, horizon_s)
+            if end > t:
+                lines.append(f"a contact +{t:g} +{end:g} {sats[j]} "
+                             f"{sats[j + 1]} {rate_bps:g}")
+            t += period_s
+    return "\n".join(lines) + "\n"
+
+
+def _build_registry() -> Dict[str, ScenarioSpec]:
+    return {
+        "campus": ScenarioSpec(
+            name="campus",
+            description="Pedestrians on a campus quad: mid-density, "
+                        "walking speeds, chatty sensing traffic",
+            mobility="zone", n_sensors=40, n_sinks=2, area_m=200.0,
+            zones_per_side=4, comm_range_m=10.0, speed_min_mps=0.3,
+            speed_max_mps=2.0, exit_probability=0.3, mean_arrival_s=60.0,
+            duration_s=10_000.0),
+        "city": ScenarioSpec(
+            name="city",
+            description="Sparse city-scale deployment: wide area, mixed "
+                        "pedestrian/vehicular speeds, light traffic",
+            mobility="zone", n_sensors=80, n_sinks=4, area_m=400.0,
+            zones_per_side=8, comm_range_m=15.0, speed_min_mps=0.5,
+            speed_max_mps=15.0, exit_probability=0.25,
+            mean_arrival_s=180.0, duration_s=25_000.0),
+        "crowd-event": ScenarioSpec(
+            name="crowd-event",
+            description="Dense slow-moving crowd at an event: short "
+                        "range, heavy bursty traffic",
+            mobility="zone", n_sensors=120, n_sinks=2, area_m=100.0,
+            zones_per_side=5, comm_range_m=5.0, speed_min_mps=0.0,
+            speed_max_mps=1.5, exit_probability=0.15, mean_arrival_s=30.0,
+            duration_s=8_000.0),
+        "satellite-pass": ScenarioSpec(
+            name="satellite-pass",
+            description="Plan-driven LEO constellation: periodic ground "
+                        "passes plus inter-satellite cross-links",
+            mobility="plan", n_sensors=8, n_sinks=1, area_m=200.0,
+            zones_per_side=5, comm_range_m=10.0, speed_min_mps=0.0,
+            speed_max_mps=5.0, exit_probability=0.2, mean_arrival_s=120.0,
+            duration_s=6_000.0, plan=_satellite_pass_plan()),
+    }
+
+
+#: Scenario name -> preset spec.
+SCENARIOS: Dict[str, ScenarioSpec] = _build_registry()
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of the registered scenario presets."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a preset by name (clear error listing the choices)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"choose from {scenario_names()}") from None
+
+
+def scenario_packet_config(spec: ScenarioSpec,
+                           **overrides: object) -> SimulationConfig:
+    """A packet-level :class:`SimulationConfig` realizing the scenario.
+
+    Keyword overrides win over the spec's fields (``protocol``, ``seed``,
+    shorter ``duration_s`` for smokes, ...).
+    """
+    base: Dict[str, object] = dict(
+        n_sensors=spec.n_sensors, n_sinks=spec.n_sinks, area_m=spec.area_m,
+        zones_per_side=spec.zones_per_side, comm_range_m=spec.comm_range_m,
+        speed_min_mps=spec.speed_min_mps, speed_max_mps=spec.speed_max_mps,
+        exit_probability=spec.exit_probability,
+        mean_arrival_s=spec.mean_arrival_s, duration_s=spec.duration_s,
+        mobility_model="plan" if spec.mobility == "plan" else "zone",
+        scenario=spec,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)  # type: ignore[arg-type]
+
+
+def scenario_contact_config(spec: ScenarioSpec,
+                            **overrides: object) -> ContactSimConfig:
+    """A contact-level :class:`ContactSimConfig` realizing the scenario.
+
+    Plan-driven scenarios replay the inline plan directly (no geometry);
+    zone scenarios run the synthetic mobility with the spec's topology.
+    """
+    base: Dict[str, object] = dict(
+        n_sensors=spec.n_sensors, n_sinks=spec.n_sinks, area_m=spec.area_m,
+        zones_per_side=spec.zones_per_side, comm_range_m=spec.comm_range_m,
+        speed_min_mps=spec.speed_min_mps, speed_max_mps=spec.speed_max_mps,
+        exit_probability=spec.exit_probability,
+        mean_arrival_s=spec.mean_arrival_s, duration_s=spec.duration_s,
+        scenario=spec,
+    )
+    base.update(overrides)
+    return ContactSimConfig(**base)  # type: ignore[arg-type]

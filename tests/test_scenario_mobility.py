@@ -1,0 +1,133 @@
+"""ContactPlanMobility: parking layout, window realization, S3 regressions."""
+
+import math
+
+import pytest
+
+from repro.contact.detector import ContactTracer
+from repro.des.scheduler import EventScheduler
+from repro.mobility.base import Area
+from repro.mobility.manager import MobilityManager
+from repro.scenario import ContactPlanMobility, parse_contact_plan
+
+COMM_RANGE = 10.0
+
+
+def _model(plan_text, node_ids, area=None, comm_range=COMM_RANGE):
+    plan = parse_contact_plan(plan_text)
+    return ContactPlanMobility(node_ids, area or Area(150.0, 150.0), plan,
+                               comm_range=comm_range)
+
+
+def _dist(model, i, j):
+    xi, yi = model.position_of(i)
+    xj, yj = model.position_of(j)
+    return math.hypot(xi - xj, yi - yj)
+
+
+def _manager(model):
+    return MobilityManager(EventScheduler(), model.area, [model],
+                           comm_range=model.comm_range)
+
+
+class TestLayout:
+    def test_parked_nodes_pairwise_out_of_range(self):
+        model = _model("a contact 100 110 0 1 100\n", range(6))
+        for i in range(6):
+            for j in range(i + 1, 6):
+                assert _dist(model, i, j) > COMM_RANGE
+
+    def test_positions_inside_area(self):
+        model = _model("a contact 0 10 0 1 100\n", range(6))
+        for nid in range(6):
+            x, y = model.position_of(nid)
+            assert model.area.contains(x, y)
+
+    def test_area_too_small_raises(self):
+        with pytest.raises(ValueError, match="too small to park"):
+            _model("a contact 0 10 0 1 100\n", range(10),
+                   area=Area(30.0, 30.0))
+
+    def test_bad_comm_range_raises(self):
+        plan = parse_contact_plan("a contact 0 10 0 1 100\n")
+        with pytest.raises(ValueError, match="comm_range"):
+            ContactPlanMobility([0, 1], Area(150.0, 150.0), plan,
+                                comm_range=0.0)
+
+    def test_plan_with_unknown_nodes_rejected(self):
+        plan = parse_contact_plan("a contact 0 10 0 7 100\n")
+        with pytest.raises(ValueError, match="node ids"):
+            ContactPlanMobility([0, 1, 2], Area(150.0, 150.0), plan)
+
+    def test_bad_dt_raises(self):
+        model = _model("a contact 0 10 0 1 100\n", range(3))
+        with pytest.raises(ValueError, match="dt"):
+            model.step(0.0)
+
+
+class TestRealization:
+    def test_window_half_open(self):
+        model = _model("a contact 10 20 0 1 100\n", range(4))
+        assert _dist(model, 0, 1) > COMM_RANGE  # t=0, before the window
+        for _ in range(10):
+            model.step(1.0)
+        assert _dist(model, 0, 1) <= COMM_RANGE  # t=10, window opens
+        for _ in range(9):
+            model.step(1.0)
+        assert _dist(model, 0, 1) <= COMM_RANGE  # t=19, still open
+        model.step(1.0)
+        assert _dist(model, 0, 1) > COMM_RANGE  # t=20, half-open end
+
+    def test_simultaneous_contacts_share_a_hub(self):
+        text = ("a contact 0 10 0 1 100\n"
+                "a contact 0 10 0 2 100\n")
+        model = _model(text, range(4))
+        assert _dist(model, 0, 1) <= COMM_RANGE
+        assert _dist(model, 0, 2) <= COMM_RANGE
+        assert _dist(model, 0, 3) > COMM_RANGE
+
+    def test_plan_windows_reproduced_by_tracer(self):
+        text = ("a contact 2 6 0 1 100\n"
+                "a contact 8 12 1 2 100\n")
+        model = _model(text, range(3))
+        tracer = ContactTracer(_manager(model))
+        contacts = tracer.run(20.0, tick=1.0)
+        observed = {(c.a, c.b, c.start, c.end) for c in contacts}
+        assert observed == {(0, 1, 2.0, 6.0), (1, 2, 8.0, 12.0)}
+
+
+class TestS3Regressions:
+    """S3: t=0 contacts and unplanned node ids (pre-fix failures)."""
+
+    def test_time_zero_contact_realized_at_init(self):
+        # Before the fix the model only applied the plan on step(), so a
+        # contact starting at t=0 was out of range at construction time
+        # and the detector's first scan missed it.
+        model = _model("a contact 0 5 0 1 100\n", range(3))
+        assert _dist(model, 0, 1) <= COMM_RANGE
+
+    def test_time_zero_contact_detected_with_start_zero(self):
+        model = _model("a contact 0 5 0 1 100\n", range(3))
+        tracer = ContactTracer(_manager(model))
+        contacts = tracer.run(10.0, tick=1.0)
+        assert [(c.a, c.b, c.start, c.end) for c in contacts] \
+            == [(0, 1, 0.0, 5.0)]
+
+    def test_unplanned_nodes_are_positioned(self):
+        # Node 3 never appears in the plan; it must still get a parking
+        # spot (a plain position, not NaN/origin-stacked) so the
+        # manager's grid binning and neighbor queries work.
+        model = _model("a contact 0 10 0 1 100\n", [0, 1, 2, 3])
+        x, y = model.position_of(3)
+        assert model.area.contains(x, y)
+        others = [model.position_of(n) for n in (0, 1, 2)]
+        assert all((x, y) != pos for pos in others)
+
+    def test_manager_neighbor_queries_cover_unplanned_nodes(self):
+        model = _model("a contact 0 10 0 1 100\n", [0, 1, 2, 3])
+        manager = _manager(model)
+        for nid in (0, 1, 2, 3):
+            neighbors = manager.neighbors_of(nid)  # must not KeyError
+            assert nid not in neighbors
+        assert 1 in manager.neighbors_of(0)
+        assert manager.neighbors_of(3) == []

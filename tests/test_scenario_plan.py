@@ -1,0 +1,158 @@
+"""Contact-plan parser: grammar, strict error paths, round trips."""
+
+import pytest
+
+from repro.scenario.plan import (
+    ContactPlan,
+    ContactPlanError,
+    PlannedContact,
+    load_contact_plan,
+    parse_contact_plan,
+    resolve_plan,
+)
+
+VALID = """\
+# three nodes, three windows
+a contact +0 +30 0 1 10000
+a contact +10 +40 1 2 10000   # trailing comment
+
+a contact 50 60 2 0 250.5
+"""
+
+
+class TestParsing:
+    def test_valid_plan(self):
+        plan = parse_contact_plan(VALID)
+        assert len(plan.contacts) == 3
+        assert plan.node_ids == [0, 1, 2]
+        assert plan.horizon == 60.0
+
+    def test_contacts_sorted_and_normalized(self):
+        plan = parse_contact_plan(VALID)
+        starts = [c.start for c in plan.contacts]
+        assert starts == sorted(starts)
+        # "2 0" is stored endpoint-normalized with a < b.
+        last = plan.contacts[-1]
+        assert (last.a, last.b) == (0, 2)
+
+    def test_plus_prefix_optional(self):
+        a = parse_contact_plan("a contact +5 +9 0 1 100\n")
+        b = parse_contact_plan("a contact 5 9 0 1 100\n")
+        assert a.contacts == b.contacts
+
+    def test_zero_duration_window_allowed(self):
+        plan = parse_contact_plan("a contact 5 5 0 1 100\n")
+        assert plan.contacts[0].duration == 0.0
+
+    def test_rate_preserved(self):
+        plan = parse_contact_plan("a contact 0 10 3 7 2400\n")
+        assert plan.contacts[0].rate_bps == 2400.0
+
+    def test_active_at_half_open(self):
+        plan = parse_contact_plan("a contact 10 20 0 1 100\n")
+        assert plan.active_at(10.0)
+        assert plan.active_at(19.999)
+        assert not plan.active_at(20.0)
+        assert not plan.active_at(9.999)
+
+
+class TestErrorPaths:
+    @pytest.mark.parametrize("line,fragment", [
+        ("b contact 0 10 0 1 100", "unknown directive"),
+        ("a range 0 10 0 1 100", "unsupported command"),
+        ("a contact 0 10 0 1", "7 tokens"),
+        ("a contact 0 10 0 1 100 extra", "7 tokens"),
+        ("a contact zero 10 0 1 100", "bad time"),
+        ("a contact -5 10 0 1 100", "negative time"),
+        ("a contact 10 5 0 1 100", "ends before it starts"),
+        ("a contact 0 10 x 1 100", "bad node id"),
+        ("a contact 0 10 -1 1 100", "negative node id"),
+        ("a contact 0 10 4 4 100", "to itself"),
+        ("a contact 0 10 0 1 fast", "bad rate"),
+        ("a contact 0 10 0 1 0", "rate must be positive"),
+        ("a contact 0 10 0 1 -100", "rate must be positive"),
+    ])
+    def test_malformed_lines(self, line, fragment):
+        with pytest.raises(ContactPlanError, match=fragment):
+            parse_contact_plan(f"# header\n{line}\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ContactPlanError) as err:
+            parse_contact_plan("a contact 0 10 0 1 100\nbogus line here\n")
+        assert err.value.line == 2
+        assert "line 2" in str(err.value)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ContactPlanError, match="no contacts"):
+            parse_contact_plan("# only comments\n\n")
+
+    def test_overlapping_same_pair_rejected(self):
+        text = ("a contact 0 20 0 1 100\n"
+                "a contact 10 30 1 0 100\n")  # reversed endpoints, same pair
+        with pytest.raises(ContactPlanError, match="overlaps"):
+            parse_contact_plan(text)
+
+    def test_touching_windows_allowed(self):
+        text = ("a contact 0 20 0 1 100\n"
+                "a contact 20 30 0 1 100\n")
+        assert len(parse_contact_plan(text).contacts) == 2
+
+    def test_unknown_node_ids(self):
+        plan = parse_contact_plan("a contact 0 10 0 9 100\n")
+        with pytest.raises(ContactPlanError, match=r"\[9\]"):
+            plan.require_nodes([0, 1, 2])
+        plan.require_nodes(range(10))  # no raise
+
+
+class TestRoundTrips:
+    def test_text_round_trip(self):
+        plan = parse_contact_plan(VALID)
+        again = parse_contact_plan(plan.to_text())
+        assert again.contacts == plan.contacts
+
+    def test_dict_round_trip(self):
+        plan = parse_contact_plan(VALID)
+        again = ContactPlan.from_dict(plan.to_dict())
+        assert again.contacts == plan.contacts
+
+    def test_planned_contact_dict_round_trip(self):
+        c = PlannedContact(a=1, b=2, start=3.5, end=7.25, rate_bps=9600.0)
+        assert PlannedContact.from_dict(c.to_dict()) == c
+
+
+class TestLoadAndResolve:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.txt"
+        path.write_text(VALID)
+        plan = load_contact_plan(path)
+        assert len(plan.contacts) == 3
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ContactPlanError, match="cannot read"):
+            load_contact_plan(tmp_path / "nope.txt")
+
+    def test_load_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a contact 10 5 0 1 100\n")
+        with pytest.raises(ContactPlanError, match="bad.txt"):
+            load_contact_plan(path)
+
+    def test_resolve_prefers_path(self, tmp_path):
+        path = tmp_path / "plan.txt"
+        path.write_text("a contact 0 10 0 1 100\n")
+
+        class FakeSpec:
+            plan = "a contact 0 99 0 1 100\n"
+
+        plan = resolve_plan(str(path), FakeSpec())
+        assert plan.horizon == 10.0
+
+    def test_resolve_falls_back_to_scenario(self):
+        class FakeSpec:
+            plan = "a contact 0 99 0 1 100\n"
+
+        assert resolve_plan(None, FakeSpec()).horizon == 99.0
+
+    def test_resolve_without_any_source(self):
+        with pytest.raises(ContactPlanError, match="no contact plan"):
+            resolve_plan(None, None)
