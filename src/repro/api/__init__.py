@@ -17,6 +17,7 @@ working unchanged:
 * :mod:`repro.api.obs` — telemetry, tracing, and reports.
 * :mod:`repro.api.analysis` — closed-form models (paper Sec. 4).
 * :mod:`repro.api.contact` — contact-level simulation and policies.
+* :mod:`repro.api.protocols` — the protocol registry and the zoo.
 * :mod:`repro.api.scenario` — contact-plan replay and scenario presets.
 * :mod:`repro.api.checks` — the static-analysis engine (``dftmsn lint``).
 * :mod:`repro.api.bench` — kernel scaling benchmarks.
@@ -37,6 +38,7 @@ from repro.api import checks as checks
 from repro.api import contact as contact
 from repro.api import faults as faults
 from repro.api import obs as obs
+from repro.api import protocols as protocols
 from repro.api import scenario as scenario
 from repro.api import sim as sim
 from repro.api.analysis import (
@@ -111,6 +113,21 @@ from repro.api.obs import (
     read_trace,
     render_report,
     writer_for_path,
+)
+from repro.api.protocols import (
+    MeetingRateAgent,
+    MeetingRatePolicy,
+    ProtocolDescriptor,
+    SinkMeetingRateEstimator,
+    TwoHopAgent,
+    TwoHopPolicy,
+    contact_policy_names,
+    crossval_pairs,
+    get_protocol,
+    names_tagged,
+    packet_protocol_names,
+    protocol_names,
+    register_protocol,
 )
 from repro.api.scenario import (
     SCENARIOS,
@@ -217,6 +234,20 @@ __all__ = [
     "run_contact_simulation",
     "policy_comparison",
     "format_policy_comparison",
+    # protocols
+    "ProtocolDescriptor",
+    "register_protocol",
+    "get_protocol",
+    "protocol_names",
+    "packet_protocol_names",
+    "contact_policy_names",
+    "crossval_pairs",
+    "names_tagged",
+    "TwoHopAgent",
+    "TwoHopPolicy",
+    "MeetingRateAgent",
+    "MeetingRatePolicy",
+    "SinkMeetingRateEstimator",
     # scenario
     "ContactPlan",
     "ContactPlanError",

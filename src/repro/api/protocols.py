@@ -1,0 +1,48 @@
+"""``repro.api.protocols`` — the protocol registry and the zoo.
+
+The :mod:`repro.protocols` registry is the single source of truth for
+protocol dispatch at both simulation levels: a
+:class:`ProtocolDescriptor` names a protocol's packet-level agent,
+contact-level policy, parameter preset, queue discipline, and
+cross-validation pairing, and :func:`register_protocol` makes it
+available to every consumer (``SimulationConfig``, ``ContactSimConfig``,
+the CLI, the experiment drivers).  See ``docs/PROTOCOLS.md`` for the
+registration walkthrough and the zoo table.
+
+Every name here is also importable from flat ``repro.api`` (the
+compatibility surface); see ``docs/API.md`` for the deprecation policy.
+"""
+
+from __future__ import annotations
+
+from repro.protocols import (
+    MeetingRateAgent,
+    MeetingRatePolicy,
+    ProtocolDescriptor,
+    SinkMeetingRateEstimator,
+    TwoHopAgent,
+    TwoHopPolicy,
+    contact_policy_names,
+    crossval_pairs,
+    get_protocol,
+    names_tagged,
+    packet_protocol_names,
+    protocol_names,
+)
+from repro.protocols import register as register_protocol
+
+__all__ = [
+    "ProtocolDescriptor",
+    "register_protocol",
+    "get_protocol",
+    "protocol_names",
+    "packet_protocol_names",
+    "contact_policy_names",
+    "crossval_pairs",
+    "names_tagged",
+    "TwoHopAgent",
+    "TwoHopPolicy",
+    "MeetingRateAgent",
+    "MeetingRatePolicy",
+    "SinkMeetingRateEstimator",
+]

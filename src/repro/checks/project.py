@@ -29,9 +29,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 #: sim-only rules (DET002/DET003/SUB001/SCH001) apply only inside these.
 #: ``scenario`` is enrolled because plan parsing, plan-driven mobility,
 #: and the preset registry all feed seeded runs: any nondeterminism
-#: there breaks byte-identical replay.
+#: there breaks byte-identical replay.  ``protocols`` is enrolled
+#: because its agents/policies run inside the seeded event loop.
 SIM_PACKAGES = frozenset({"core", "des", "network", "contact", "obs",
-                          "scenario"})
+                          "scenario", "protocols"})
 
 #: Individual ``(package, module)`` pairs outside :data:`SIM_PACKAGES`
 #: that still carry the bit-for-bit reproducibility guarantee and so get

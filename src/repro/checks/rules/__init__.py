@@ -25,6 +25,7 @@ from repro.checks.rules.facade import Api001, Api002, Api003
 from repro.checks.rules.floats import Flt001
 from repro.checks.rules.layering import Arch001, LAYER_CONTRACTS
 from repro.checks.rules.mutables import Mut001
+from repro.checks.rules.registry import Reg001
 from repro.checks.rules.scheduling import Sch001
 from repro.checks.rules.serialization import SERIALIZED_CLASSES, Ser001
 from repro.checks.rules.substreams import Sub001
@@ -53,7 +54,8 @@ class Prg001(Rule):
 
 #: Per-module rules, in reporting order.
 NODE_RULES: Tuple[Type[Rule], ...] = (
-    Det001, Det002, Det003, Flt001, Mut001, Sub001, Sch001, Obs001, Prg001,
+    Det001, Det002, Det003, Flt001, Mut001, Reg001, Sub001, Sch001, Obs001,
+    Prg001,
 )
 
 #: Whole-project rules, in reporting order.
@@ -92,6 +94,7 @@ __all__ = [
     "ProjectRule",
     "RULES",
     "RULES_BY_ID",
+    "Reg001",
     "Rule",
     "RuleContext",
     "SERIALIZED_CLASSES",

@@ -29,6 +29,11 @@ LAYER_CONTRACTS: Dict[str, Tuple[str, ...]] = {
     # harness: it may build configs (registry) but must never reach up
     # into experiment drivers or analysis.
     "repro.scenario": ("repro.harness", "repro.analysis", "repro.api"),
+    # The protocol registry aggregates agent/policy implementations
+    # (core, baselines, contact) for the layers above it; reaching up
+    # into the harness, analysis, or facade would close a cycle with
+    # every registry consumer.
+    "repro.protocols": ("repro.harness", "repro.analysis", "repro.api"),
 }
 
 

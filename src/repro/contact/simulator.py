@@ -25,17 +25,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Dict, List, Mapping, Optional, Tuple, Type
 
 from repro.contact.detector import Contact, ContactTracer
-from repro.contact.policies import (
-    ContactPolicy,
-    DirectPolicy,
-    EpidemicPolicy,
-    FadPolicy,
-    SprayAndWaitPolicy,
-    ZbrHistoryPolicy,
-)
+from repro.contact.policies import ContactPolicy
 from repro.core.message import DataMessage, fresh_message_id
 from repro.des.rng import RandomStreams
 from repro.des.scheduler import EventScheduler
@@ -50,14 +43,26 @@ from repro.obs.export import writer_for_path
 from repro.scenario.plan import ContactPlan, load_contact_plan, parse_contact_plan
 from repro.scenario.spec import ScenarioSpec
 
-#: Registry of contact-level policies.
-CONTACT_POLICIES: Dict[str, Type[ContactPolicy]] = {
-    "fad": FadPolicy,
-    "direct": DirectPolicy,
-    "epidemic": EpidemicPolicy,
-    "zbr": ZbrHistoryPolicy,
-    "spray": SprayAndWaitPolicy,
-}
+
+def _contact_policies() -> Mapping[str, Type[ContactPolicy]]:
+    """The live policy table of the :mod:`repro.protocols` registry.
+
+    Resolved lazily: registering the built-in zoo imports
+    :mod:`repro.contact.policies`, which initializes this package, so a
+    module-level import of ``repro.protocols`` here would cycle
+    (docs/PROTOCOLS.md).
+    """
+    from repro.protocols import CONTACT_POLICIES
+    return CONTACT_POLICIES
+
+
+def __getattr__(name: str) -> object:
+    # Back-compat: CONTACT_POLICIES has always been importable from this
+    # module; it is now a live view of the repro.protocols registry, the
+    # single source of truth for protocol dispatch at both levels.
+    if name == "CONTACT_POLICIES":
+        return _contact_policies()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -93,9 +98,9 @@ class ContactSimConfig:
     scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
-        if self.policy not in CONTACT_POLICIES:
+        if self.policy not in _contact_policies():
             raise ValueError(f"unknown policy {self.policy!r}; "
-                             f"choose from {sorted(CONTACT_POLICIES)}")
+                             f"choose from {sorted(_contact_policies())}")
         if self.duration_s <= 0 or self.tick_s <= 0:
             raise ValueError("duration and tick must be positive")
         if not 0.0 < self.mac_efficiency <= 1.0:
@@ -226,7 +231,7 @@ class ContactSimulation:
             self._tracer = ContactTracer(self.mobility)
             self._tracer.subscribe(self.bus)
             self.bus.subscribe(ContactEnd.topic, self._on_contact_end_event)
-        policy_cls = CONTACT_POLICIES[config.policy]
+        policy_cls = _contact_policies()[config.policy]
         self.policies: Dict[int, ContactPolicy] = {}
         for nid in sink_ids:
             self.policies[nid] = policy_cls(nid, capacity=config.queue_capacity,

@@ -109,6 +109,17 @@ class ProtocolParameters:
     # messages across one contact without re-paying the wake-up preamble.
     rx_linger_s: float = 4.0
 
+    # --- protocol-zoo knobs (repro.protocols; see docs/PROTOCOLS.md) ----------
+    # Two-hop relay (Altman et al., arXiv:0911.3241): relay copies the
+    # source may spray per message before waiting for a sink.
+    two_hop_copy_limit: int = 8
+    # Meeting-rate forwarding (Shaghaghian & Coates, arXiv:1506.04729):
+    # the delivery horizon the MLE sink-meeting rate is mapped through
+    # (p = 1 - exp(-rate * horizon)), and the dedup gap below which two
+    # sink observations count as one meeting.
+    meeting_rate_horizon_s: float = 3000.0
+    meeting_rate_min_gap_s: float = 30.0
+
     # --- MAC pacing (simulation-pragmatic; see DESIGN.md) ---------------------
     # Gap between consecutive working cycles of a node with queued data
     # (the paper repeats the two-phase process without specifying pacing);
@@ -158,6 +169,12 @@ class ProtocolParameters:
             raise ValueError("preamble margin cannot be negative")
         if self.lpl_burst_window_s < 0 or self.rx_linger_s < 0:
             raise ValueError("burst/linger windows cannot be negative")
+        if self.two_hop_copy_limit < 0:
+            raise ValueError("two-hop copy limit cannot be negative")
+        if self.meeting_rate_horizon_s <= 0:
+            raise ValueError("meeting-rate horizon must be positive")
+        if self.meeting_rate_min_gap_s < 0:
+            raise ValueError("meeting-rate dedup gap cannot be negative")
 
     # ------------------------------------------------------------------
     # serialization (lossless; used for cross-process dispatch and

@@ -28,6 +28,7 @@ from repro.harness.serialize import Checkpoint
 from repro.network.config import PROTOCOLS, SimulationConfig
 from repro.network.faults import FAULT_KINDS
 from repro.network.simulation import run_simulation
+from repro.protocols import contact_policy_names, names_tagged
 
 
 def _worker_count(text: str) -> int:
@@ -111,7 +112,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "the plan with --plan)")
     contact_p.add_argument("--sinks", type=int, default=None,
                            help="sink count (default: 3, or 1 with --plan)")
-    contact_p.add_argument("--policies", default="fad,direct,epidemic,zbr,spray")
+    # The default rosters below are derived from the repro.protocols
+    # registry, so a newly registered protocol shows up in the CLI
+    # without touching this file (docs/PROTOCOLS.md).
+    contact_p.add_argument("--policies",
+                           default=",".join(contact_policy_names()),
+                           help="comma-separated contact-level policies "
+                                "(default: every registered policy)")
     contact_p.add_argument("--workers", type=_worker_count, default=0,
                            help="parallel worker processes (0 = serial)")
     contact_p.add_argument("--plan", metavar="PATH", default=None,
@@ -166,9 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--intensities", default="0.0,0.2,0.4",
                           help="comma-separated fault intensities in "
                                "[0, 1] (default: 0.0,0.2,0.4)")
-    faults_p.add_argument("--protocols", default="opt,epidemic,direct",
+    faults_p.add_argument("--protocols",
+                          default=",".join(names_tagged("fault-campaign")),
                           help="comma-separated protocols to compare "
-                               "(default: opt,epidemic,direct)")
+                               "(default: the registry's fault-campaign "
+                               "roster)")
     faults_p.add_argument("--duration", type=float, default=5_000.0)
     faults_p.add_argument("--replicates", type=int, default=3)
     faults_p.add_argument("--sensors", type=int, default=100)
@@ -434,6 +443,12 @@ def _cmd_contact(args: argparse.Namespace) -> int:
     )
 
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    known = contact_policy_names()
+    unknown = [p for p in policies if p not in known]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)} "
+              f"(choose from {', '.join(sorted(known))})", file=sys.stderr)
+        return 2
     # Only forward explicit topology flags: with --plan the comparison
     # auto-sizes to the plan's node ids, without it the paper defaults
     # (100 sensors / 3 sinks) come from ContactSimConfig itself.

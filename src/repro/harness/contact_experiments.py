@@ -2,9 +2,9 @@
 
 Two studies built on the contact-level simulator:
 
-* :func:`policy_comparison` — FAD vs direct vs epidemic vs ZBR vs
-  spray-and-wait under the paper topology with an ideal MAC (the
-  abstraction level of the authors' earlier analysis [5]).
+* :func:`policy_comparison` — every registered contact-level policy
+  (``repro.protocols``) under the paper topology with an ideal MAC
+  (the abstraction level of the authors' earlier analysis [5]).
 * :func:`cross_validation` — packet-level vs contact-level delivery for
   the same policy family: the contact level upper-bounds the packet
   level, and protocol orderings must agree.
@@ -14,14 +14,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.contact.simulator import (
-    CONTACT_POLICIES,
-    ContactSimConfig,
-    ContactSimResult,
-)
+from repro.contact.simulator import ContactSimConfig, ContactSimResult
 from repro.harness.runner import Job, Runner, RunFailure, SerialRunner
 from repro.harness.serialize import Checkpoint
 from repro.network.config import SimulationConfig
+from repro.protocols import contact_policy_names, crossval_pairs
 from repro.scenario.plan import load_contact_plan
 
 
@@ -35,7 +32,7 @@ def _raise_on_failure(outcome: object) -> object:
 
 def policy_comparison(
     duration_s: float = 25_000.0,
-    policies: Sequence[str] = ("fad", "direct", "epidemic", "zbr", "spray"),
+    policies: Optional[Sequence[str]] = None,
     seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     runner: Optional[Runner] = None,
@@ -45,12 +42,17 @@ def policy_comparison(
 ) -> Dict[str, ContactSimResult]:
     """Run each contact-level policy on the paper topology.
 
+    ``policies`` defaults to every contact-capable protocol in the
+    :mod:`repro.protocols` registry, in registration order.
+
     With ``plan_path`` the policies replay the plan instead of running
     synthetic mobility, and the topology is auto-sized to the plan's
     node ids (1 sink by default) unless ``n_sinks`` / ``n_sensors``
     overrides say otherwise — the paper's 3-sink default would silently
     swallow a small plan's nodes 0-2 as traffic-free sinks.
     """
+    if policies is None:
+        policies = contact_policy_names()
     if runner is None:
         runner = SerialRunner()
     extra: Dict[str, object] = dict(config_overrides)
@@ -76,7 +78,8 @@ def policy_comparison(
 
 def format_policy_comparison(results: Dict[str, ContactSimResult]) -> str:
     """Render the policy comparison as an aligned text table."""
-    header = (f"{'policy':<10} {'ratio':>7} {'delay(s)':>9} {'hops':>6} "
+    width = max(len("policy"), *(len(name) for name in results))
+    header = (f"{'policy':<{width}} {'ratio':>7} {'delay(s)':>9} {'hops':>6} "
               f"{'transfers':>10} {'tx/delivery':>12}")
     lines = [header]
     for policy, r in results.items():
@@ -84,7 +87,7 @@ def format_policy_comparison(results: Dict[str, ContactSimResult]) -> str:
         hops = f"{r.average_hops:.2f}" if r.average_hops else "-"
         overhead = r.transfers_per_delivery()
         oh = f"{overhead:.1f}" if overhead is not None else "-"
-        lines.append(f"{policy:<10} {r.delivery_ratio:>7.3f} {delay:>9} "
+        lines.append(f"{policy:<{width}} {r.delivery_ratio:>7.3f} {delay:>9} "
                      f"{hops:>6} {r.transfers:>10} {oh:>12}")
     return "\n".join(lines)
 
@@ -100,10 +103,12 @@ def cross_validation(
 ) -> Dict[str, Dict[str, float]]:
     """Packet-level vs contact-level delivery ratios for matched policies.
 
-    Pairs: OPT <-> fad, direct <-> direct, zbr <-> zbr.  The contact
-    level (ideal MAC, no sleeping) should dominate the packet level,
-    with the same ordering across policies.  Both runs of every pair go
-    into one batch, so a parallel runner overlaps all six simulations.
+    The pairs come from the :mod:`repro.protocols` registry (each
+    descriptor's ``contact_pairing``, e.g. OPT <-> fad, direct <->
+    direct).  The contact level (ideal MAC, no sleeping) should dominate
+    the packet level, with the same ordering across policies.  Both runs
+    of every pair go into one batch, so a parallel runner overlaps all
+    the simulations.
 
     With ``plan_path``, both levels consume the *identical* contact
     sequence: the packet level realizes the plan geometrically through
@@ -126,7 +131,7 @@ def cross_validation(
         contact_extra.update(plan_path=plan_path, n_sinks=n_sinks,
                              n_sensors=n_sensors)
         contact_extra.pop("mobility_model", None)
-    pairs = {"opt": "fad", "direct": "direct", "zbr": "zbr"}
+    pairs = crossval_pairs()
     jobs: List[Job] = []
     for packet_proto, contact_policy in pairs.items():
         if progress is not None:
@@ -154,10 +159,11 @@ def cross_validation(
 
 def format_cross_validation(table: Dict[str, Dict[str, float]]) -> str:
     """Render the packet-vs-contact table as text."""
-    lines = [f"{'protocol':<10} {'packet-level':>13} {'contact-level':>14} "
-             f"{'gap':>7}"]
+    width = max(len("protocol"), *(len(name) for name in table))
+    lines = [f"{'protocol':<{width}} {'packet-level':>13} "
+             f"{'contact-level':>14} {'gap':>7}"]
     for proto, row in table.items():
         gap = row.get("gap", row["contact_ratio"] - row["packet_ratio"])
-        lines.append(f"{proto:<10} {row['packet_ratio']:>13.3f} "
+        lines.append(f"{proto:<{width}} {row['packet_ratio']:>13.3f} "
                      f"{row['contact_ratio']:>14.3f} {gap:>7.3f}")
     return "\n".join(lines)

@@ -26,6 +26,7 @@ from repro.harness.runner import Job, Runner, SerialRunner
 from repro.harness.serialize import Checkpoint
 from repro.network.config import SimulationConfig
 from repro.network.faults import FaultSpec
+from repro.protocols import names_tagged
 
 
 @dataclass
@@ -114,7 +115,7 @@ def run_fault_campaign(
     base: SimulationConfig,
     spec: FaultSpec,
     intensities: Sequence[float],
-    protocols: Sequence[str] = ("opt", "epidemic", "direct"),
+    protocols: Optional[Sequence[str]] = None,
     replicates: int = 3,
     base_seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
@@ -126,11 +127,14 @@ def run_fault_campaign(
     ``spec`` is the fault template; each sweep point runs ``base`` with
     ``faults=(spec.scaled(intensity),)`` (any faults already present on
     ``base`` are replaced — a campaign measures exactly one model).
-    All runs go out as a single batch, so any runner backend — serial,
-    process pool, tracing — serves the whole campaign, and results are
-    assembled in deterministic (protocol, intensity, replicate) order
-    regardless of completion order.
+    ``protocols`` defaults to the registry's ``fault-campaign`` roster
+    (opt, epidemic, direct).  All runs go out as a single batch, so any
+    runner backend — serial, process pool, tracing — serves the whole
+    campaign, and results are assembled in deterministic (protocol,
+    intensity, replicate) order regardless of completion order.
     """
+    if protocols is None:
+        protocols = names_tagged("fault-campaign")
     if not intensities:
         raise ValueError("need at least one fault intensity")
     if not protocols:

@@ -25,9 +25,11 @@ from repro.harness.experiment import (
 from repro.harness.runner import Runner
 from repro.harness.serialize import Checkpoint
 from repro.network.config import SimulationConfig
+from repro.protocols import names_tagged
 
-#: The four protocol variants compared in Fig. 2.
-FIG2_PROTOCOLS = ("opt", "nosleep", "noopt", "zbr")
+#: The four protocol variants compared in Fig. 2 (the registry's
+#: ``fig2`` tag: opt, nosleep, noopt, zbr).
+FIG2_PROTOCOLS = names_tagged("fig2")
 
 #: Sink counts swept on the Fig. 2 x-axis.
 FIG2_SINKS = (1, 2, 3, 4, 5, 6)

@@ -12,32 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional, Tuple, Type
 
-from repro.baselines.direct import DirectAgent
-from repro.baselines.epidemic import EpidemicAgent
-from repro.baselines.zbr import ZbrAgent
 from repro.core.params import ProtocolParameters
-from repro.core.protocol import CrossLayerAgent, MacAgent
+from repro.core.protocol import MacAgent
 from repro.network.faults import FaultSpec
+# PROTOCOLS is re-exported here for back-compat: it has always been
+# importable as repro.network.config.PROTOCOLS (and through repro /
+# repro.network / repro.api.sim).  It is now a live view of the
+# repro.protocols registry, the single source of truth.
+from repro.protocols import PROTOCOLS, get_protocol, packet_protocol_names
 from repro.scenario.spec import ScenarioSpec
-
-
-def _protocol_table() -> Dict[str, Tuple[Type[MacAgent], ProtocolParameters]]:
-    return {
-        "opt": (CrossLayerAgent, ProtocolParameters.opt()),
-        "noopt": (CrossLayerAgent, ProtocolParameters.noopt()),
-        "nosleep": (CrossLayerAgent, ProtocolParameters.nosleep()),
-        "zbr": (ZbrAgent, ProtocolParameters.opt()),
-        "direct": (DirectAgent, ProtocolParameters.opt()),
-        "epidemic": (EpidemicAgent, ProtocolParameters.opt()),
-    }
-
-
-#: Protocol name -> (agent class, default parameter preset).
-PROTOCOLS: Dict[str, Tuple[Type[MacAgent], ProtocolParameters]] = _protocol_table()
-
-#: Baselines without a fault-tolerance notion keep an (effectively) FIFO
-#: queue: FTD-threshold dropping is disabled for them.
-_FIFO_PROTOCOLS = frozenset({"zbr", "direct", "epidemic"})
 
 
 @dataclass(frozen=True)
@@ -132,7 +115,7 @@ class SimulationConfig:
         if self.protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; "
-                f"choose from {sorted(PROTOCOLS)}"
+                f"choose from {sorted(packet_protocol_names())}"
             )
         # Normalize the scenario (JSON round trips yield plain dicts).
         if self.scenario is not None and not isinstance(self.scenario,
@@ -179,18 +162,22 @@ class SimulationConfig:
     @property
     def agent_class(self) -> Type[MacAgent]:
         """Protocol agent class for this configuration."""
-        return PROTOCOLS[self.protocol][0]
+        agent = get_protocol(self.protocol).agent_class
+        assert agent is not None  # __post_init__ validated packet support
+        return agent
 
     def effective_params(self) -> ProtocolParameters:
         """The protocol parameters for this run (preset unless overridden)."""
         params = self.params
         if params is None:
-            params = PROTOCOLS[self.protocol][1]
+            params = get_protocol(self.protocol).params
         return replace(params, queue_capacity=self.queue_capacity)
 
     def queue_drop_threshold(self) -> float:
-        """FTD-threshold dropping only applies to the cross-layer protocol."""
-        if self.protocol in _FIFO_PROTOCOLS:
+        """FTD-threshold dropping only applies under the ``"ftd"`` queue
+        discipline; ``"fifo"`` protocols (no fault-tolerance notion)
+        disable it."""
+        if get_protocol(self.protocol).queue_discipline == "fifo":
             return 1.0
         return self.effective_params().ftd_drop_threshold
 

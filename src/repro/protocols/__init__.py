@@ -1,0 +1,53 @@
+"""Protocol registry and zoo — the single source of truth for protocol
+dispatch across both simulators (see docs/PROTOCOLS.md).
+
+The registry names (:func:`register`, :func:`get_protocol`, the live
+:data:`PROTOCOLS` / :data:`CONTACT_POLICIES` views) are bound *before*
+the built-in zoo imports, because registering the zoo pulls in
+:mod:`repro.contact`, whose simulator imports this package back while
+it is still initializing — the registry half must already be complete
+at that point.
+"""
+
+from repro.protocols.descriptor import ProtocolDescriptor, QUEUE_DISCIPLINES
+from repro.protocols.registry import (
+    CONTACT_POLICIES,
+    PROTOCOLS,
+    contact_policy_names,
+    crossval_pairs,
+    get_protocol,
+    names_tagged,
+    packet_protocol_names,
+    protocol_names,
+    register,
+    unregister,
+)
+
+# Importing the zoo must stay below the registry imports (see above).
+import repro.protocols.builtin  # noqa: E402,F401  (registers the zoo)
+from repro.protocols.meeting_rate import (  # noqa: E402
+    MeetingRateAgent,
+    MeetingRatePolicy,
+    SinkMeetingRateEstimator,
+)
+from repro.protocols.two_hop import TwoHopAgent, TwoHopPolicy  # noqa: E402
+
+__all__ = [
+    "CONTACT_POLICIES",
+    "MeetingRateAgent",
+    "MeetingRatePolicy",
+    "PROTOCOLS",
+    "ProtocolDescriptor",
+    "QUEUE_DISCIPLINES",
+    "SinkMeetingRateEstimator",
+    "TwoHopAgent",
+    "TwoHopPolicy",
+    "contact_policy_names",
+    "crossval_pairs",
+    "get_protocol",
+    "names_tagged",
+    "packet_protocol_names",
+    "protocol_names",
+    "register",
+    "unregister",
+]

@@ -1,0 +1,189 @@
+"""Meeting-rate-estimation forwarding (Shaghaghian & Coates,
+arXiv:1506.04729).
+
+Their optimal-forwarding schemes rank carriers by *estimated meeting
+rates with the destination* rather than by contact history alone.  The
+reproduction keeps the estimation core: every node maintains a
+maximum-likelihood estimate of its sink-meeting rate (meetings counted
+over elapsed time, the MLE for a homogeneous Poisson meeting process,
+their Sec. III baseline estimator) and converts it into the probability
+of meeting a sink within a delivery horizon,
+
+    p = 1 - exp(-lambda_hat * horizon).
+
+Forwarding is single-copy custody transfer to a strictly better-ranked
+carrier — the one-packet specialization of their forwarding rule, and
+deliberately the same custody discipline as ZBR so the two metrics are
+directly comparable: ZBR's non-decaying success history vs. a rate
+estimate that keeps adapting as mobility changes.
+
+Both simulation levels are implemented here: :class:`MeetingRateAgent`
+on the shared two-phase MAC (sink meetings observed from overheard CTS
+frames), :class:`MeetingRatePolicy` at contact granularity (meetings
+observed from sink contacts).  The horizon and the dedup gap come from
+``ProtocolParameters.meeting_rate_horizon_s`` /
+``meeting_rate_min_gap_s`` at the packet level and the matching
+constructor defaults at the contact level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.contact.policies import ContactPolicy
+from repro.core.message import MessageCopy
+from repro.core.protocol import MacAgent
+from repro.core.selection import Candidate
+from repro.radio.frames import Cts, DataFrame, Rts
+
+
+class SinkMeetingRateEstimator:
+    """MLE sink-meeting rate -> horizon delivery probability.
+
+    ``rate(now)`` is meetings / elapsed time; ``delivery_metric(now)``
+    maps it into [0, 1) as the probability of at least one meeting
+    within ``horizon_s`` under a Poisson meeting process.  Meetings
+    closer together than ``min_gap_s`` count once, so one long contact
+    (or one CTS burst at the packet level) is one meeting, not many.
+    """
+
+    def __init__(self, horizon_s: float, min_gap_s: float) -> None:
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if min_gap_s < 0:
+            raise ValueError("min gap cannot be negative")
+        self.horizon_s = horizon_s
+        self.min_gap_s = min_gap_s
+        self._meetings = 0
+        self._last_meeting = -math.inf
+
+    @property
+    def meetings(self) -> int:
+        """Deduplicated sink meetings observed so far."""
+        return self._meetings
+
+    def record_meeting(self, now: float) -> bool:
+        """Count a sink meeting; returns whether it was a new one."""
+        if now - self._last_meeting < self.min_gap_s:
+            self._last_meeting = now
+            return False
+        self._meetings += 1
+        self._last_meeting = now
+        return True
+
+    def rate(self, now: float) -> float:
+        """The MLE meeting rate (meetings per second)."""
+        if now <= 0.0 or self._meetings == 0:
+            return 0.0
+        return self._meetings / now
+
+    def delivery_metric(self, now: float) -> float:
+        """P(meet a sink within the horizon), in [0, 1].
+
+        Mathematically the probability stays below 1; in floats a large
+        ``rate * horizon`` product saturates to exactly 1.0, which is
+        harmless — sink preference is keyed on ``is_sink``, not on the
+        metric value.
+        """
+        return 1.0 - math.exp(-self.rate(now) * self.horizon_s)
+
+
+class MeetingRateAgent(MacAgent):
+    """Custody transfer toward higher sink-meeting-rate estimates."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.meeting_estimator = SinkMeetingRateEstimator(
+            self.params.meeting_rate_horizon_s,
+            self.params.meeting_rate_min_gap_s)
+
+    def advertised_metric(self) -> float:
+        """The horizon delivery probability from the rate estimate."""
+        return self.meeting_estimator.delivery_metric(self.scheduler.now)
+
+    def _on_cts(self, cts: Cts) -> None:
+        """Observe sink meetings from every decodable CTS.
+
+        Any CTS a sink sends — to this node or overheard — proves a
+        sink is in range right now, so it feeds the rate estimate
+        (passive learning; the dedup gap collapses one exchange's CTS
+        burst into one meeting).
+        """
+        if cts.is_sink:
+            self.meeting_estimator.record_meeting(self.scheduler.now)
+        super()._on_cts(cts)
+
+    def evaluate_rts(self, rts: Rts) -> Tuple[bool, int]:
+        """Qualify on a strictly better estimate and a free slot."""
+        if rts.message_id in self.queue:
+            return False, 0  # duplicate custody is meaningless
+        slots = self.queue.free_slots
+        return (self.advertised_metric() > rts.xi and slots > 0), slots
+
+    def build_phi(self, head: MessageCopy,
+                  candidates: Sequence[Candidate]) -> List[Candidate]:
+        """Pick a single receiver: a sink if present, else best rate."""
+        mine = self.advertised_metric()
+        qualified = [c for c in candidates if c.is_sink or c.xi > mine]
+        if not qualified:
+            return []
+        best = max(qualified, key=lambda c: (c.is_sink, c.xi, -c.node_id))
+        return [best]
+
+    def copy_assignments(self, head: MessageCopy,
+                         phi: Sequence[Candidate]) -> Dict[int, float]:
+        """No FTD notion: the custody copy stays maximally urgent."""
+        return {c.node_id: 0.0 for c in phi}
+
+    def on_data_accepted(self, frame: DataFrame, assigned_ftd: float) -> None:
+        """Take custody of the forwarded message."""
+        copy: MessageCopy = frame.payload
+        self.queue.insert(copy.forwarded(0.0, self.scheduler.now))
+
+    def after_multicast(self, head: MessageCopy,
+                        confirmed: Sequence[Candidate]) -> None:
+        """Release custody: exactly one copy lives on, at the receiver."""
+        if not confirmed:
+            return
+        self.queue.remove(head.message_id)
+
+
+class MeetingRatePolicy(ContactPolicy):
+    """Custody transfer toward higher sink-meeting rates, per contact."""
+
+    def __init__(self, node_id: int, capacity: int = 200,
+                 horizon_s: float = 3000.0, min_gap_s: float = 30.0,
+                 is_sink: bool = False) -> None:
+        super().__init__(node_id, capacity, 1.0, is_sink)
+        self.estimator = SinkMeetingRateEstimator(horizon_s, min_gap_s)
+
+    def metric(self, now: float) -> float:
+        """The horizon delivery probability (1.0 for sinks)."""
+        if self.is_sink:
+            return 1.0
+        return self.estimator.delivery_metric(now)
+
+    def wants_to_send(self, peer: ContactPolicy,
+                      now: float) -> Optional[MessageCopy]:
+        """Custody transfer toward a strictly better rate estimate.
+
+        The exchange loop polls ``wants_to_send`` on every usable
+        contact, so a sink peer is also where meetings get counted —
+        including contacts with nothing to send.
+        """
+        if self.is_sink:
+            return None
+        if peer.is_sink:
+            self.estimator.record_meeting(now)
+        if not (peer.is_sink or peer.metric(now) > self.metric(now)):
+            return None
+        if not peer.is_sink and peer.queue.free_slots <= 0:
+            return None
+        return self.queue.peek()
+
+    def after_transfer(self, copy: MessageCopy, peer: ContactPolicy,
+                       now: float) -> None:
+        """Release custody: exactly one copy lives on, at the receiver."""
+        self.queue.remove(copy.message_id)
+        self.transfers_out += 1

@@ -1,0 +1,146 @@
+"""Two-hop relay routing (Altman, Basar, De Pellegrini; arXiv:0911.3241).
+
+The classic two-hop relay scheme their optimal-control analysis builds
+on: the *source* sprays copies of a message to the first relays it
+meets, up to a copy limit (the static-policy analogue of their optimal
+threshold control), and a *relay* holds its copy until it meets a sink
+— relays never re-relay, so every delivery path has at most two hops.
+This sits between direct transmission (copy limit 0) and epidemic
+flooding (no limit, any-hop), with the copy limit trading energy
+against delay exactly as the paper's control variable does.
+
+Both simulation levels are implemented here: :class:`TwoHopAgent` runs
+the scheme on the shared two-phase MAC, :class:`TwoHopPolicy` at
+contact granularity.  The copy limit comes from
+``ProtocolParameters.two_hop_copy_limit`` at the packet level and the
+matching constructor default at the contact level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.contact.policies import ContactPolicy
+from repro.core.message import MessageCopy
+from repro.core.protocol import MacAgent
+from repro.core.selection import Candidate
+from repro.radio.frames import DataFrame, Rts
+
+
+class TwoHopAgent(MacAgent):
+    """Source-spray / relay-wait forwarding on the shared MAC."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: message id -> relay copies sprayed so far (source side only).
+        self._relay_copies: Dict[int, int] = {}
+
+    def advertised_metric(self) -> float:
+        """Two-hop relaying has no delivery metric; advertise nothing."""
+        return 0.0
+
+    def evaluate_rts(self, rts: Rts) -> Tuple[bool, int]:
+        """Qualify on buffer room; the *sender* enforces the hop limit.
+
+        A receiver cannot see from the RTS whether the offered copy is a
+        source copy (relayable) or a relay copy (sink-only), so it
+        volunteers whenever it has room and the sender's
+        :meth:`build_phi` keeps relay copies away from relays.
+        """
+        if rts.message_id in self.queue:
+            return False, 0  # a second copy adds no two-hop redundancy
+        slots = self.queue.free_slots
+        return slots > 0, slots
+
+    def build_phi(self, head: MessageCopy,
+                  candidates: Sequence[Candidate]) -> List[Candidate]:
+        """Sinks always win; source copies spray the remaining budget."""
+        sinks = [c for c in candidates if c.is_sink]
+        if sinks:
+            return sinks[:1]
+        if head.hops > 0:
+            return []  # relay copies move to sinks only (two-hop ceiling)
+        budget = (self.params.two_hop_copy_limit
+                  - self._relay_copies.get(head.message_id, 0))
+        if budget <= 0:
+            return []
+        relays = [c for c in candidates if c.buffer_slots > 0]
+        return relays[:budget]
+
+    def copy_assignments(self, head: MessageCopy,
+                         phi: Sequence[Candidate]) -> Dict[int, float]:
+        """No FTD notion: sprayed copies stay maximally urgent."""
+        return {c.node_id: 0.0 for c in phi}
+
+    def on_data_accepted(self, frame: DataFrame, assigned_ftd: float) -> None:
+        """Store the relay copy (``hops`` becomes 1: sink-only now)."""
+        copy: MessageCopy = frame.payload
+        self.queue.insert(copy.forwarded(0.0, self.scheduler.now))
+
+    def after_multicast(self, head: MessageCopy,
+                        confirmed: Sequence[Candidate]) -> None:
+        """Count sprayed copies; retire the local copy on a sink ACK."""
+        if not confirmed:
+            return
+        if any(c.is_sink for c in confirmed):
+            self.queue.remove(head.message_id)
+            self._relay_copies.pop(head.message_id, None)
+            return
+        sprayed = self._relay_copies.get(head.message_id, 0) + len(confirmed)
+        self._relay_copies[head.message_id] = sprayed
+        # Rotate the source copy to the back of the queue so the next
+        # cycle sprays a different message instead of re-offering this
+        # one to the same neighborhood.
+        self.queue.remove(head.message_id)
+        self.queue.reinsert_with_ftd(head, head.ftd)
+
+
+class TwoHopPolicy(ContactPolicy):
+    """Source-spray / relay-wait forwarding at contact granularity."""
+
+    def __init__(self, node_id: int, capacity: int = 200,
+                 copy_limit: int = 8, is_sink: bool = False) -> None:
+        super().__init__(node_id, capacity, 1.0, is_sink)
+        if copy_limit < 0:
+            raise ValueError("copy limit cannot be negative")
+        self.copy_limit = copy_limit
+        #: message id -> relay copies sprayed so far (source side only).
+        self._relay_copies: Dict[int, int] = {}
+
+    def metric(self, now: float) -> float:
+        """Two-hop relaying has no delivery metric."""
+        return 1.0 if self.is_sink else 0.0
+
+    def wants_to_send(self, peer: ContactPolicy,
+                      now: float) -> Optional[MessageCopy]:
+        """Offer anything to a sink; spray source copies to relays."""
+        if self.is_sink:
+            return None
+        for copy in self.queue:
+            if peer.is_sink:
+                if copy.message_id in peer.delivered_seen:
+                    # Sink-side immunization: the sink already consumed
+                    # this message, so cure the replica instead of
+                    # wasting contact budget re-delivering it.
+                    self.queue.remove(copy.message_id)
+                    self._relay_copies.pop(copy.message_id, None)
+                    continue
+                return copy
+            if copy.hops > 0:
+                continue  # relay copies move to sinks only
+            if self._relay_copies.get(copy.message_id, 0) >= self.copy_limit:
+                continue
+            if copy.message_id not in peer.queue and peer.queue.free_slots > 0:
+                return copy
+        return None
+
+    def after_transfer(self, copy: MessageCopy, peer: ContactPolicy,
+                       now: float) -> None:
+        """Count the sprayed copy; retire on delivery to a sink."""
+        self.transfers_out += 1
+        if peer.is_sink:
+            self.queue.remove(copy.message_id)
+            self._relay_copies.pop(copy.message_id, None)
+            return
+        self._relay_copies[copy.message_id] = (
+            self._relay_copies.get(copy.message_id, 0) + 1)

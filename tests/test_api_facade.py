@@ -19,8 +19,8 @@ import pytest
 import repro.api as api
 
 SUB_FACADES = (
-    "sim", "batch", "faults", "obs", "analysis", "contact", "scenario",
-    "checks", "bench",
+    "sim", "batch", "faults", "obs", "analysis", "contact", "protocols",
+    "scenario", "checks", "bench",
 )
 
 

@@ -549,3 +549,49 @@ class TestArch001:
                                 "  # lint: disable=ARCH001 (pure math)\n"),
         })
         assert findings == []
+
+
+class TestReg001:
+    def test_constant_roster_tuple_fires(self):
+        assert rules_of('ROSTER = ("opt", "epidemic", "direct")\n') == [
+            "REG001"]
+
+    def test_dict_keyed_by_protocol_names_fires(self):
+        assert rules_of(
+            'TABLE = {"opt": 1, "zbr": 2, "direct": 3}\n') == ["REG001"]
+
+    def test_frozenset_of_protocol_names_fires(self):
+        assert rules_of(
+            'FIFO = frozenset(["zbr", "epidemic", "direct"])\n'
+        ) == ["REG001"]
+
+    def test_set_literal_fires(self):
+        assert rules_of('BAD = {"two_hop", "meeting_rate"}\n'
+                        'len(BAD)\n') == ["REG001"]
+
+    def test_single_protocol_choice_clean(self):
+        # One name is a protocol *selection*, not a shadow table.
+        assert rules_of('DEFAULT = "opt"\n'
+                        'cfg = {"protocol": "opt", "seed": 1}\n') == []
+
+    def test_unregistered_names_clean(self):
+        assert rules_of('MODES = ("walk", "waypoint", "levy")\n') == []
+
+    def test_lowercase_local_clean(self):
+        # Only UPPER_CASE constants are rosters; locals echoing results
+        # back (e.g. dict comprehensions over registry output) are fine.
+        assert rules_of('names = ("opt", "zbr")\n') == []
+
+    def test_registry_package_exempt(self, tmp_path):
+        findings = tree_rules(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/protocols/__init__.py": "",
+            "repro/protocols/builtin.py":
+                'ORDER = ("opt", "epidemic", "direct")\n',
+        })
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        assert rules_of(
+            'LEGACY = ("opt", "zbr")  # lint: disable=REG001 (doc table)\n'
+        ) == []

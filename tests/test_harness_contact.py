@@ -9,6 +9,7 @@ from repro.harness.contact_experiments import (
     format_policy_comparison,
     policy_comparison,
 )
+from repro.protocols import crossval_pairs
 
 
 class TestPolicyComparison:
@@ -37,7 +38,9 @@ class TestPolicyComparison:
 class TestCrossValidation:
     def test_structure_and_bounds(self):
         table = cross_validation(duration_s=250.0, seed=5)
-        assert set(table) == {"opt", "direct", "zbr"}
+        # One row per registry pairing (opt, direct, zbr, two_hop, ...).
+        assert set(table) == set(crossval_pairs())
+        assert {"opt", "direct", "zbr"} <= set(table)
         for row in table.values():
             assert 0.0 <= row["packet_ratio"] <= 1.0
             assert 0.0 <= row["contact_ratio"] <= 1.0
@@ -57,3 +60,10 @@ class TestCliSubcommands:
         rc = cli_main(["crossval", "--duration", "120"])
         assert rc == 0
         assert "packet-level" in capsys.readouterr().out
+
+    def test_contact_command_rejects_unknown_policy(self, capsys):
+        rc = cli_main(["contact", "--policies", "bogus,fad"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown policies: bogus" in err
+        assert "two_hop" in err  # the diagnostic lists the registry
